@@ -1,0 +1,44 @@
+"""E-FIG3 / E-FIG4: regenerate Figures 3 and 4 (CHOLSKY live/dead flow
+dependences) and benchmark the analysis that produces them.
+
+Paper: 21 live flow dependences (7 refined [r], 10 covering [C]) and
+14 dead ones (killed [k] or covered [c]).  We reproduce the exact row sets;
+see tests/programs/test_cholsky.py for the row-by-row assertions.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.programs import cholsky
+from repro.reporting import flow_rows, flow_tables
+
+from .conftest import write_artifact
+
+
+@pytest.fixture(scope="module")
+def program():
+    return cholsky()
+
+
+def test_bench_cholsky_extended_analysis(benchmark, program):
+    result = benchmark.pedantic(
+        lambda: analyze(program), rounds=1, iterations=1
+    )
+    live, dead = flow_rows(result)
+    assert len(live) == 21  # Figure 3
+    assert len(dead) == 14  # Figure 4
+    artifact = flow_tables(result)
+    write_artifact("figure3_figure4_cholsky.txt", artifact)
+    print()
+    print(artifact)
+
+
+def test_bench_cholsky_standard_analysis(benchmark, program):
+    result = benchmark.pedantic(
+        lambda: analyze(program, AnalysisOptions(extended=False)),
+        rounds=1,
+        iterations=1,
+    )
+    # Standard analysis reports every apparent flow dependence as real.
+    assert len(result.flow) == 35
+    assert len(result.dead_flow()) == 0

@@ -1,0 +1,83 @@
+"""E-EX16: the Examples 1-6 table (kills, covers, refinements).
+
+Regenerates the figure's "Unrefined flow dependence / Refined flow
+dependence" rows and the Example 1/2 eliminations, and benchmarks the
+analyses.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisOptions, DependenceStatus, analyze
+from repro.programs import (
+    example1,
+    example2,
+    example3,
+    example4,
+    example5,
+    example6,
+)
+
+from .conftest import write_artifact
+
+EXPECTED_REFINEMENTS = {
+    "example3": ("(0+,1)", "(0,1)"),
+    "example4": ("(0+,1)", "(0,1)"),
+    "example5": ("(0+,1)", "(0:1,1)"),
+    "example6": ("(+,+)", "(1,1)"),
+}
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    options = AnalysisOptions(partial_refine=True)
+    return {
+        factory().name: analyze(factory(), options)
+        for factory in (example1, example2, example3, example4, example5, example6)
+    }
+
+
+def test_bench_examples_1_to_6(benchmark, analyses):
+    options = AnalysisOptions(partial_refine=True)
+
+    def run_all():
+        return [
+            analyze(factory(), options)
+            for factory in (
+                example1,
+                example2,
+                example3,
+                example4,
+                example5,
+                example6,
+            )
+        ]
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["Examples 1-6 (paper Section 4 figure)", ""]
+    # Example 1: killed flow dependence.
+    ex1 = analyses["example1"]
+    dead = ex1.dead_flow()
+    assert len(dead) == 1
+    lines.append(f"example1: killed   {dead[0].src} -> {dead[0].dst}")
+    # Example 2: covering write + eliminations.
+    ex2 = analyses["example2"]
+    (cover,) = [d for d in ex2.live_flow() if d.covers]
+    assert len(ex2.dead_flow()) == 2
+    lines.append(f"example2: cover    {cover.src} -> {cover.dst} [C]")
+    for dep in ex2.dead_flow():
+        lines.append(f"example2: dead     {dep.src} -> {dep.dst} [{dep.tags()}]")
+    # Examples 3-6: refinements.
+    for name, (unrefined, refined) in EXPECTED_REFINEMENTS.items():
+        (dep,) = analyses[name].live_flow()
+        got_unrefined = ", ".join(str(v) for v in dep.unrefined_directions)
+        assert dep.refined, name
+        assert got_unrefined == unrefined, (name, got_unrefined)
+        assert dep.direction_text() == refined, (name, dep.direction_text())
+        lines.append(
+            f"{name}: unrefined {unrefined}  ->  refined {refined}"
+        )
+    artifact = "\n".join(lines) + "\n"
+    write_artifact("examples_1_to_6.txt", artifact)
+    print()
+    print(artifact)

@@ -1,0 +1,73 @@
+"""E-FIG6L / E-FIG6R: the Figure 6 timing study.
+
+Left graph: extended vs standard analysis time per write/read array pair,
+with three populations — pairs decided by quick tests alone (no Omega
+consultation for refinement/coverage), pairs with a general test on a
+single dependence vector, and pairs split into several vectors.  The
+paper's shape: the general tests cost 2-4x the standard analysis; the
+quick-test population dominates.
+
+Right graph: kill-test time against dependence-generation time; most kill
+tests are settled by the quick tests without consulting the Omega test.
+"""
+
+import pytest
+
+from repro.programs import timing_corpus
+from repro.reporting import (
+    collect_pair_timings,
+    figure6_left_summary,
+    figure6_right_summary,
+    figure6_text,
+)
+
+from .conftest import write_artifact
+
+
+@pytest.fixture(scope="module")
+def study():
+    return collect_pair_timings(timing_corpus())
+
+
+def test_bench_figure6_corpus_timing(benchmark, study):
+    # Benchmark one representative mid-size program end to end; the module
+    # fixture already holds the whole-corpus study used for the figure.
+    from repro.analysis import AnalysisOptions, analyze
+    from repro.programs.corpus import lu_decomposition
+
+    program = lu_decomposition()
+    benchmark.pedantic(
+        lambda: analyze(program, AnalysisOptions(record_timings=True)),
+        rounds=1,
+        iterations=1,
+    )
+    artifact = figure6_text(study)
+    write_artifact("figure6_timing.txt", artifact)
+    print()
+    print(artifact)
+
+    counts = study.counts()
+    # Shape assertions (populations in the paper: 264 fast, 81 general,
+    # 72 split of 417; our corpus is smaller but the ordering holds).
+    assert counts["pairs"] > 40
+    assert counts["fast"] > counts["split"]
+    assert counts["general"] + counts["split"] > 0
+
+
+def test_figure6_left_ratios(study):
+    summary = figure6_left_summary(study)
+    # Extended analysis costs more than standard, but stays within a small
+    # factor for the general-test population ("2 or 3 times the amount of
+    # time needed to generate the dependence").
+    assert summary["all"]["median_ratio"] >= 1.0
+    if summary["general"]["count"]:
+        assert summary["general"]["median_ratio"] < 25
+
+
+def test_figure6_right_quick_tests_dominate(study):
+    summary = figure6_right_summary(study)
+    # "There were 54 cases in which the Omega test was consulted" out of
+    # 338 kill tests: quick tests must dispose of a large share here too.
+    total = summary["quick_count"] + summary["omega_count"]
+    if total:
+        assert summary["quick_count"] >= total * 0.3

@@ -1,0 +1,41 @@
+"""E-FIG7: Figure 7 — per-pair analysis time, standard and extended,
+sorted by extended-analysis time.
+
+The paper's shape: both series rise over several orders of magnitude; the
+extended time tracks the standard time with a bounded multiplicative gap,
+and the slowest pairs are the split/general ones.
+"""
+
+import pytest
+
+from repro.programs import timing_corpus
+from repro.reporting import collect_pair_timings, figure7_series, figure7_text
+
+from .conftest import write_artifact
+
+
+@pytest.fixture(scope="module")
+def study():
+    return collect_pair_timings(timing_corpus())
+
+
+def test_bench_figure7_series(benchmark, study):
+    series = benchmark.pedantic(
+        lambda: figure7_series(study), rounds=3, iterations=1
+    )
+    assert len(series) == len(study.pair_records)
+    artifact = figure7_text(series)
+    write_artifact("figure7_sorted_times.txt", artifact)
+    print()
+    print(artifact)
+
+    # Shape: sorted by extended time; extended >= standard pointwise.
+    extended = [e for _s, e in series]
+    assert extended == sorted(extended)
+    assert all(e >= s for s, e in series)
+
+    # The fast half should be much cheaper than the slow tail, as in the
+    # paper's several-orders-of-magnitude spread.
+    mid = len(extended) // 2
+    if extended[mid] > 0:
+        assert extended[-1] / max(extended[mid], 1e-9) > 2

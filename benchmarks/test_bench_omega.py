@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the Omega test core.
+
+Not a paper figure by itself, but the substrate every experiment rests on:
+satisfiability, projection (exact, with splinters), gist and implication
+costs on dependence-shaped problems.
+"""
+
+import pytest
+
+from repro.omega import (
+    Problem,
+    Variable,
+    gist,
+    implies,
+    is_satisfiable,
+    project,
+)
+
+i1, i2 = Variable("i1"), Variable("i2")
+j1, j2 = Variable("j1"), Variable("j2")
+n, m = Variable("n", "sym"), Variable("m", "sym")
+d1, d2 = Variable("d1"), Variable("d2")
+
+
+def dependence_shaped_problem() -> Problem:
+    """A typical 2-deep dependence problem (Example 3's shape)."""
+
+    p = Problem()
+    p.add_bounds(1, i1, n).add_bounds(2, i2, m)
+    p.add_bounds(1, j1, n).add_bounds(2, j2, m)
+    p.add_eq(i2, j2 - 1)
+    p.add_eq(d1, j1 - i1).add_eq(d2, j2 - i2)
+    p.add_ge(d1)
+    return p
+
+
+def splintering_problem() -> Problem:
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return (
+        Problem()
+        .add_ge(3 * z - x)
+        .add_ge(y - 2 * z)
+        .add_bounds(0, x, 50)
+        .add_bounds(0, y, 50)
+    )
+
+
+def test_bench_satisfiability(benchmark):
+    p = dependence_shaped_problem()
+    assert benchmark(lambda: is_satisfiable(p))
+
+
+def test_bench_satisfiability_unsat(benchmark):
+    p = dependence_shaped_problem()
+    p.add_bounds(1, d2, 0)  # contradiction with d2 = 1
+    assert not benchmark(lambda: is_satisfiable(p))
+
+
+def test_bench_projection_exact(benchmark):
+    p = dependence_shaped_problem()
+    proj = benchmark(lambda: project(p, [d1, d2]))
+    assert proj.exact_union
+
+
+def test_bench_projection_splinters(benchmark):
+    p = splintering_problem()
+    x, y = Variable("x"), Variable("y")
+    proj = benchmark(lambda: project(p, [x, y]))
+    assert proj.splintered
+
+
+def test_bench_gist(benchmark):
+    p = Problem().add_bounds(1, i1, n).add_le(i1, j1).add_le(j1, n)
+    q = Problem().add_bounds(1, i1, n).add_bounds(1, j1, n)
+    result = benchmark(lambda: gist(p, q))
+    assert not result.is_trivially_true()
+
+
+def test_bench_implication(benchmark):
+    q = Problem().add_bounds(2, i1, 3)
+    p = Problem().add_bounds(0, i1, 5)
+    assert benchmark(lambda: implies(q, p))
+
+
+def test_bench_equality_heavy(benchmark):
+    # Diophantine-heavy: exercises the mod-hat path.
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    p = (
+        Problem()
+        .add_eq(7 * x + 12 * y + 31 * z, 17)
+        .add_eq(3 * x + 5 * y + 14 * z, 7)
+        .add_bounds(-100, x, 100)
+        .add_bounds(-100, y, 100)
+        .add_bounds(-100, z, 100)
+    )
+    assert benchmark(lambda: is_satisfiable(p))

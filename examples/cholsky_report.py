@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Regenerate Figures 3 and 4: live and dead flow dependences of CHOLSKY.
+
+This is the paper's headline experiment — the NAS CHOLSKY kernel, analysed
+with refinement, covering and killing.  The output matches the paper's
+Figure 3 (21 live dependences) and Figure 4 (14 dead ones) row for row.
+
+Run:  python examples/cholsky_report.py
+"""
+
+import time
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.ir import run_program, value_based_flows
+from repro.programs import cholsky
+from repro.reporting import flow_tables
+
+
+def main() -> None:
+    program = cholsky()
+    print(f"CHOLSKY: {len(program.statements)} statements, "
+          f"{len(program.writes())} writes, {len(program.reads())} reads")
+
+    started = time.perf_counter()
+    result = analyze(program, AnalysisOptions(record_timings=True))
+    elapsed = time.perf_counter() - started
+    print(f"extended analysis took {elapsed:.1f}s "
+          f"({len(result.pair_records)} write/read pairs)\n")
+
+    print(flow_tables(result))
+
+    # Cross-check against actually executing the kernel: every value that
+    # really flows must be covered by a live dependence, and none of the
+    # dead dependences may carry any value.
+    live = {(d.src, d.dst) for d in result.live_flow()}
+    dead = {(d.src, d.dst) for d in result.dead_flow()} - live
+    trace = run_program(program, dict(N=4, M=2, NMAT=1, NRHS=1, EPS=1))
+    actual = {(f.source, f.destination) for f in value_based_flows(trace)}
+    print(f"interpreter cross-check: {len(trace.events)} accesses, "
+          f"{len(actual)} actual flow pairs")
+    print(f"  actual flows missing from live set : {len(actual - live)}")
+    print(f"  dead dependences that actually flow: {len(actual & dead)}")
+
+
+if __name__ == "__main__":
+    main()

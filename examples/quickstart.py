@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: parse a loop nest, analyze it, and inspect the results.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.ir import parse
+from repro.reporting import flow_tables
+
+SOURCE = """
+# A producer sweep, a full overwrite, and a consumer: conventional
+# dependence analysis links s1 to the read in s3, but no value ever
+# flows that way -- the s2 write kills it.
+for i := 1 to n do
+  a(i) := b(i)
+for i := 1 to n do
+  a(i) := c(i)
+for i := 1 to n do
+  d(i) := a(i)
+"""
+
+
+def main() -> None:
+    program = parse(SOURCE, "quickstart")
+    print("Program:")
+    print(program)
+
+    # --- standard analysis: the conservative question -----------------
+    standard = analyze(program, AnalysisOptions(extended=False))
+    print(f"standard analysis: {len(standard.flow)} flow dependences, "
+          f"none eliminated")
+
+    # --- extended analysis: kills, covers, refinement ------------------
+    extended = analyze(program)
+    print(
+        f"extended analysis: {len(extended.live_flow())} live, "
+        f"{len(extended.dead_flow())} dead"
+    )
+    print()
+    print(flow_tables(extended))
+
+    # Every dependence carries structured data, not just a table row:
+    for dep in extended.dead_flow():
+        print(
+            f"dead: {dep.src} -> {dep.dst}: eliminated by "
+            f"{dep.eliminated_by.src} ({dep.status.value})"
+        )
+
+
+if __name__ == "__main__":
+    main()

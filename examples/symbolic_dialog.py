@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Section 5's symbolic analysis: conditions, dialogue and properties.
+
+Part 1 (Example 7): under which conditions on x, y, m does each dependence
+exist, given the user asserted 50 <= n <= 100?
+
+Part 2 (Example 8): index arrays — the engine formulates the questions the
+paper shows ("Is it the case that ... Q[a] = Q[b] never happens?"), and the
+user can answer by *stating a property* of Q instead: permutation, strictly
+increasing, injective.
+
+Run:  python examples/symbolic_dialog.py
+"""
+
+from repro.analysis import DependenceKind
+from repro.analysis.symbolic import (
+    ArrayProperty,
+    PropertyRegistry,
+    dependence_conditions,
+    format_problem,
+    generate_query,
+    symbolic_dependence_exists,
+)
+from repro.ir import to_text
+from repro.omega import Variable, le
+from repro.programs import example7, example8
+
+
+def part1_example7() -> None:
+    program = example7()
+    print("=" * 64)
+    print("Example 7: symbolic dependence conditions")
+    print("-" * 64)
+    print(to_text(program))
+    write = [a for a in program.writes() if a.array == "A"][0]
+    read = [a for a in program.reads() if a.array == "A"][0]
+
+    n = Variable("n", "sym")
+    keep = [Variable("x", "sym"), Variable("y", "sym"), Variable("m", "sym")]
+    conditions = dependence_conditions(
+        write,
+        read,
+        DependenceKind.FLOW,
+        assertions=[le(50, n), le(n, 100)],
+        array_bounds=program.array_bounds,
+        keep_syms=keep,
+    )
+    print("given: all references in bounds, 50 <= n <= 100")
+    for cond in conditions:
+        print(
+            f"  dependence with restraint {cond.restraint} exists iff "
+            f"{format_problem(cond.condition)}"
+        )
+    print()
+
+
+def part2_example8() -> None:
+    program = example8()
+    print("=" * 64)
+    print("Example 8: index arrays and the user dialogue")
+    print("-" * 64)
+    print(to_text(program))
+    write = [a for a in program.writes() if a.array == "A"][0]
+    read = [a for a in program.reads() if a.array == "A"][0]
+
+    print("--- checking for an output dependence (write vs write) ---")
+    for query in generate_query(
+        write, write, DependenceKind.OUTPUT, array_bounds=program.array_bounds
+    ):
+        print(query.render())
+
+    print("--- checking for a flow dependence (write vs read) ---")
+    for query in generate_query(
+        write, read, DependenceKind.FLOW, array_bounds=program.array_bounds
+    ):
+        print(query.render())
+
+    print("user: 'Q is a permutation array'")
+    registry = PropertyRegistry().declare("Q", ArrayProperty.PERMUTATION)
+    output_dep = symbolic_dependence_exists(
+        write,
+        write,
+        DependenceKind.OUTPUT,
+        registry,
+        array_bounds=program.array_bounds,
+    )
+    flow_dep = symbolic_dependence_exists(
+        write,
+        read,
+        DependenceKind.FLOW,
+        registry,
+        array_bounds=program.array_bounds,
+    )
+    print(f"  output dependence still possible: {output_dep}")
+    print(f"  flow dependence still possible:   {flow_dep}")
+    print()
+    print("user: 'Q is strictly increasing'")
+    registry = PropertyRegistry().declare("Q", ArrayProperty.STRICTLY_INCREASING)
+    print(
+        "  output dependence still possible:",
+        symbolic_dependence_exists(
+            write,
+            write,
+            DependenceKind.OUTPUT,
+            registry,
+            array_bounds=program.array_bounds,
+        ),
+    )
+
+
+def main() -> None:
+    part1_example7()
+    part2_example8()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Transformation advisor: what accurate flow dependences actually buy.
+
+For each kernel this script compares two worlds:
+
+* memory-based analysis (`extended=False`) — the conservative question
+  every 1992 production compiler asked;
+* the paper's value-based analysis (kills/covers/refinement).
+
+and then asks, loop by loop: can it run in parallel, and which arrays
+need privatizing?  The scalar-expansion kernels show the headline effect:
+with memory-based dependences the temporary looks live across iterations
+and the loop stays serial; the kill analysis proves the flow dead and
+parallelization (with privatization) becomes legal.
+
+Run:  python examples/transform_advisor.py
+"""
+
+from repro.analysis import (
+    AnalysisOptions,
+    analyze,
+    parallelizable_loops,
+)
+from repro.ir import parse, to_text
+
+KERNELS = {
+    "scalar expansion": """
+        for i := 1 to n do {
+          tmp(1) := b(i) + c(i)
+          d(i) := tmp(1) + tmp(1)
+        }
+    """,
+    "jacobi with copy": """
+        for t := 1 to steps do {
+          for i := 2 to n-1 do new(i) := a(i-1) + a(i+1)
+          for i := 2 to n-1 do a(i) := new(i)
+        }
+    """,
+    "true recurrence": """
+        for i := 2 to n do a(i) := a(i-1) + b(i)
+    """,
+}
+
+
+def advise(name: str, source: str) -> None:
+    program = parse(source, name)
+    print("=" * 64)
+    print(name)
+    print("-" * 64)
+    print(to_text(program))
+
+    for label, options in (
+        ("memory-based (no kills)", AnalysisOptions(extended=False)),
+        ("value-based (this paper)", AnalysisOptions()),
+    ):
+        result = analyze(program, options)
+        print(f"{label}:")
+        for report in parallelizable_loops(result):
+            print(f"  {report.describe()}")
+    print()
+
+
+def main() -> None:
+    for name, source in KERNELS.items():
+        advise(name, source)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Reproduction of *Eliminating False Data Dependences using the Omega Test*
+(William Pugh and David Wonnacott, PLDI 1992).
+
+The library is organised in layers:
+
+``repro.omega``
+    The Omega test itself: exact integer linear constraint solving with
+    projection, dark/real shadows, splintering, gists, implications, and a
+    Presburger formula layer.
+``repro.ir``
+    A loop-nest intermediate representation in the style of Michael Wolfe's
+    *tiny* tool, including a text parser, a builder API, a pretty-printer
+    and a concrete interpreter used for differential testing.
+``repro.analysis``
+    Array data dependence analysis: dependence problems, direction /
+    distance / restraint vectors, and the paper's false-dependence
+    elimination machinery — killing, covering, terminating, refinement —
+    plus symbolic analysis with user assertions and index arrays.
+``repro.baselines``
+    The dependence tests "currently in use" that the paper contrasts
+    against: ZIV, GCD, single-index exact tests and Banerjee's inequalities.
+``repro.programs``
+    The paper's benchmark programs: the CHOLSKY NAS kernel, Examples 1-11,
+    and a tiny-distribution-like corpus.
+``repro.reporting``
+    Figure/table regeneration utilities for the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["omega", "ir", "analysis", "baselines", "programs", "reporting"]

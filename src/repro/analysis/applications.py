@@ -1,0 +1,169 @@
+"""Applications of accurate flow dependences: what the analysis buys.
+
+The paper's introduction motivates kill analysis with program
+transformations: storage-related dependences "can be eliminated by
+techniques such as privatization, renaming, and array expansion.  However,
+these methods cannot be applied if they appear to affect the flow
+dependences of a program."  This module implements the two classic
+clients:
+
+* **Loop parallelization** — a loop can run its iterations in parallel
+  when it carries no *live* dependence (storage dependences removed by
+  privatizing the arrays they involve).
+* **Array privatization** — an array is privatizable in a loop when every
+  live flow dependence on it within the loop is loop-independent (each
+  iteration reads only values it wrote itself), which is exactly what the
+  kill analysis can prove and memory-based analysis cannot.
+
+These are decision procedures over an :class:`AnalysisResult`; they do not
+rewrite the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..ir.ast import Access, Loop, Program
+from .dependences import Dependence, DependenceKind, DependenceStatus
+from .results import AnalysisResult
+
+__all__ = [
+    "carried_dependences",
+    "privatizable_arrays",
+    "parallelizable_loops",
+    "ParallelizationReport",
+]
+
+
+def _loop_level(statement_loops: tuple[Loop, ...], loop: Loop) -> int | None:
+    """1-based nesting level of ``loop`` for a statement, None if absent."""
+
+    for level, candidate in enumerate(statement_loops, start=1):
+        if candidate is loop:
+            return level
+    return None
+
+
+def _dependence_carried_by(dep: Dependence, loop: Loop) -> bool:
+    """Could this dependence cross iterations of ``loop``?
+
+    True when the loop encloses both endpoints at a common level and some
+    direction vector admits a non-zero distance there, or when the loop
+    encloses only one endpoint (the dependence necessarily crosses it).
+    """
+
+    src_level = _loop_level(dep.src.statement.loops, loop)
+    dst_level = _loop_level(dep.dst.statement.loops, loop)
+    if src_level is None or dst_level is None:
+        return False
+    if src_level != dst_level or src_level > len(dep.deltas):
+        # The loop is not common to the pair: any dependence between the
+        # two statements crosses its iterations.
+        return True
+    index = src_level - 1
+    if not dep.directions:
+        return True
+    return any(
+        component.lo is None or component.hi is None or component.lo != 0 or component.hi != 0
+        for component in (vector[index] for vector in dep.directions)
+    )
+
+
+def carried_dependences(
+    result: AnalysisResult, loop: Loop, *, live_only: bool = True
+) -> list[Dependence]:
+    """All dependences carried by (crossing iterations of) ``loop``."""
+
+    found = []
+    for dep in result.all_dependences():
+        if live_only and dep.status is not DependenceStatus.LIVE:
+            continue
+        if _dependence_carried_by(dep, loop):
+            found.append(dep)
+    return found
+
+
+def privatizable_arrays(result: AnalysisResult, loop: Loop) -> set[str]:
+    """Arrays safely privatizable per-iteration of ``loop``.
+
+    An array qualifies when every *live* flow dependence between accesses
+    inside the loop stays within one iteration (loop-independent at the
+    loop's level), so giving each iteration a private copy preserves all
+    value flow.  Arrays read inside the loop from values produced outside
+    it (a live flow dependence entering the loop) do not qualify.
+    """
+
+    inside: set[str] = set()
+    for dep_access in _accesses_in(result.program, loop):
+        inside.add(dep_access.array)
+
+    blocked: set[str] = set()
+    for dep in result.flow:
+        if dep.status is not DependenceStatus.LIVE:
+            continue
+        src_in = _loop_level(dep.src.statement.loops, loop) is not None
+        dst_in = _loop_level(dep.dst.statement.loops, loop) is not None
+        if not src_in and not dst_in:
+            continue
+        if src_in != dst_in:
+            blocked.add(dep.dst.array if dst_in else dep.src.array)
+            continue
+        if _dependence_carried_by(dep, loop):
+            blocked.add(dep.src.array)
+    return inside - blocked
+
+
+@dataclass
+class ParallelizationReport:
+    """Verdict for one loop."""
+
+    loop: Loop
+    parallelizable: bool
+    #: Live dependences that prevent parallel execution outright.
+    blocking: list[Dependence] = field(default_factory=list)
+    #: Storage (anti/output) dependences removable by privatizing these
+    #: arrays; empty when nothing needed privatization.
+    privatized: set[str] = field(default_factory=set)
+
+    def describe(self) -> str:
+        verdict = "PARALLEL" if self.parallelizable else "serial"
+        extra = ""
+        if self.parallelizable and self.privatized:
+            extra = f" (privatizing {', '.join(sorted(self.privatized))})"
+        if not self.parallelizable:
+            extra = f" ({len(self.blocking)} blocking dependences)"
+        return f"for {self.loop.var}: {verdict}{extra}"
+
+
+def _accesses_in(program: Program, loop: Loop) -> Iterable[Access]:
+    for access in program.accesses():
+        if loop in access.statement.loops:
+            yield access
+
+
+def parallelizable_loops(result: AnalysisResult) -> list[ParallelizationReport]:
+    """Classify every loop of the analysed program.
+
+    A loop parallelizes when each dependence it carries is either (a) not
+    a live flow dependence and its array is privatizable, or (b) dead.
+    Live flow dependences carried by the loop block parallelization.
+    """
+
+    reports: list[ParallelizationReport] = []
+    for loop in result.program.loops():
+        carried = carried_dependences(result, loop)
+        privatizable = privatizable_arrays(result, loop)
+        blocking: list[Dependence] = []
+        privatized: set[str] = set()
+        for dep in carried:
+            if dep.kind is DependenceKind.FLOW:
+                blocking.append(dep)
+            elif dep.src.array in privatizable:
+                privatized.add(dep.src.array)
+            else:
+                blocking.append(dep)
+        reports.append(
+            ParallelizationReport(loop, not blocking, blocking, privatized)
+        )
+    return reports

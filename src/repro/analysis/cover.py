@@ -1,0 +1,90 @@
+"""Covering and terminating dependences (Sections 4.2 and 4.3).
+
+A dependence from write A to access B *covers* B iff every location B
+accesses was previously written by A::
+
+    forall j, Sym:  j in [B]
+      =>  exists i . i in [A] and A(i) << B(j) and A(i) sub= B(j)
+
+The mirror image: a dependence from A to write B *terminates* A iff every
+location A accesses is subsequently overwritten by B.
+
+The quick test from Section 4.5 applies first: a dependence that cannot
+have distance 0 in some common loop cannot cover the first trip through
+that loop, so the general test is skipped (the engine then relies on kill
+tests instead, exactly as the paper describes).
+"""
+
+from __future__ import annotations
+
+from ..omega import Problem, Variable, is_satisfiable
+from ..omega.errors import OmegaComplexityError
+from ..omega.gist import implies_union
+from ..omega.project import project
+from .dependences import Dependence
+
+__all__ = ["covers_destination", "terminates_source", "cover_quick_reject"]
+
+
+def cover_quick_reject(dep: Dependence) -> bool:
+    """True when the quick test rules out covering.
+
+    "If a dependence from A to B does not include the distance 0 in some
+    loop l, it can not cover the execution of B the first time through l."
+    """
+
+    for level in range(len(dep.deltas)):
+        if not any(vector[level].admits(0) for vector in dep.directions):
+            return True
+    return False
+
+
+def _check_universal_coverage(
+    dep: Dependence, keep: list[Variable], lhs: Problem
+) -> bool:
+    """Does ``lhs`` imply the projection of the dependence onto ``keep``?"""
+
+    if not is_satisfiable(lhs):
+        return True
+    projection = project(dep.problem, keep)
+    if not projection.pieces:
+        return False
+    try:
+        return implies_union(lhs, projection.pieces)
+    except OmegaComplexityError:
+        # Sound fallback: test against the dark shadow only.
+        from ..omega.gist import implies
+
+        return implies(lhs, projection.dark)
+
+
+def covers_destination(dep: Dependence, *, use_quick_test: bool = True) -> bool:
+    """Does this dependence cover its destination access?"""
+
+    if use_quick_test and cover_quick_reject(dep):
+        return False
+    keep = list(dep.pair.dst_ctx.loop_vars) + dep.pair.sym_vars()
+    lhs = Problem(
+        list(dep.pair.dst_ctx.domain.constraints) + list(dep.pair.assertions),
+        name=f"[{dep.dst}]",
+    )
+    return _check_universal_coverage(dep, keep, lhs)
+
+
+def terminates_source(dep: Dependence, *, use_quick_test: bool = True) -> bool:
+    """Does the destination write overwrite everything the source accessed?
+
+    Only meaningful when the destination is a write (output or anti
+    dependences, or flow dependences considered from the source's side).
+    """
+
+    if not dep.dst.is_write:
+        return False
+    if use_quick_test and cover_quick_reject(dep):
+        return False
+    keep = list(dep.pair.src_ctx.loop_vars) + dep.pair.sym_vars()
+    lhs = Problem(
+        list(dep.pair.src_ctx.domain.constraints) + list(dep.pair.assertions),
+        name=f"[{dep.src}]",
+    )
+    return _check_universal_coverage(dep, keep, lhs)

@@ -1,0 +1,343 @@
+"""The analysis driver: full-program dependence analysis with array kills.
+
+Follows the paper's pipeline (Section 4):
+
+1. compute all output dependences (they feed the quick tests for killing
+   and refinement);
+2. compute anti dependences (unchanged by the extended analysis, as in the
+   paper's implementation);
+3. for each array read, compute the apparent flow dependences from every
+   write; refine each; check covering; use covers to rule out writes that
+   precede the coverer completely; check surviving dependences pairwise for
+   kills.
+
+Timing and classification per array pair is recorded for the Figure 6/7
+reproductions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..ir.ast import Access, Program
+from ..omega import Constraint
+from .cover import cover_quick_reject, covers_destination, terminates_source
+from .dependences import (
+    Dependence,
+    DependenceKind,
+    DependenceStatus,
+    compute_dependences,
+)
+from .kills import KillTester, kill_quick_reject
+from .problem import SymbolTable, common_depth
+from .refine import refine_dependence
+from .results import AnalysisResult, KillTiming, PairCategory, PairRecord
+
+__all__ = ["AnalysisOptions", "analyze", "Analyzer"]
+
+
+@dataclass
+class AnalysisOptions:
+    """Configuration for :func:`analyze`."""
+
+    #: Master switch: refinement + covering + killing (the paper's
+    #: "extended analysis").  Off = "standard analysis".
+    extended: bool = True
+    refine: bool = True
+    cover: bool = True
+    kill: bool = True
+    #: Extension: also test terminating dependences (Section 4.3; the
+    #: paper's implementation did not exercise this path).
+    terminate: bool = False
+    #: Extension: attempt range ("partial") refinements like (0:1,1).
+    partial_refine: bool = False
+    #: Extension: apply refinement to anti/output dependences as well.
+    extend_all_kinds: bool = False
+    #: Extension: also compute input (read-read) dependences, used by
+    #: locality analyses; off by default like the paper.
+    input_deps: bool = False
+    #: User assertions over symbolic constants, as omega Constraints on
+    #: Variable(name, "sym").
+    assertions: tuple[Constraint, ...] = ()
+    #: Record per-pair timings (adds a second, standard-only pass).
+    record_timings: bool = False
+
+
+def analyze(program: Program, options: AnalysisOptions | None = None) -> AnalysisResult:
+    """Analyze a program and return all dependences with status flags."""
+
+    return Analyzer(program, options or AnalysisOptions()).run()
+
+
+class Analyzer:
+    """Stateful driver behind :func:`analyze`; exposes intermediate data
+    (output-dependence pairs, terminators) for advanced callers."""
+
+    def __init__(self, program: Program, options: AnalysisOptions):
+        self.program = program
+        self.options = options
+        self.symbols = SymbolTable()
+        self.result = AnalysisResult(program)
+        self.output_pairs: set[tuple[Access, Access]] = set()
+        self.self_output_nonzero: dict[Access, set[int]] = {}
+        #: For options.terminate: write A -> terminating output deps A->B
+        #: (B overwrites everything A wrote).
+        self.terminators: dict[Access, list[Dependence]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> AnalysisResult:
+        writes = self.program.writes()
+        reads = self.program.reads()
+
+        self._compute_output_dependences(writes)
+        self._compute_anti_dependences(reads, writes)
+        self._compute_flow_dependences(reads, writes)
+        if self.options.input_deps:
+            self._compute_input_dependences(reads)
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _compute_output_dependences(self, writes: Sequence[Access]) -> None:
+        for src in writes:
+            for dst in writes:
+                if src.array != dst.array:
+                    continue
+                deps = compute_dependences(
+                    src,
+                    dst,
+                    DependenceKind.OUTPUT,
+                    self.symbols,
+                    assertions=self.options.assertions,
+                    array_bounds=self.program.array_bounds,
+                )
+                if deps:
+                    self.output_pairs.add((src, dst))
+                for dep in deps:
+                    if src is dst:
+                        self._note_self_output(src, dep)
+                    if self.options.extended and self.options.extend_all_kinds:
+                        dep = refine_dependence(
+                            dep, partial=self.options.partial_refine
+                        ).dependence
+                    if (
+                        self.options.extended
+                        and self.options.terminate
+                        and src is not dst
+                        and terminates_source(dep)
+                    ):
+                        self.terminators.setdefault(src, []).append(dep)
+                    self.result.output.append(dep)
+
+    def _note_self_output(self, access: Access, dep: Dependence) -> None:
+        levels = self.self_output_nonzero.setdefault(access, set())
+        for vector in dep.directions:
+            for index, component in enumerate(vector, start=1):
+                if component.hi is None or component.hi > 0:
+                    levels.add(index)
+                elif component.lo is not None and component.lo > 0:
+                    levels.add(index)
+
+    def _compute_anti_dependences(
+        self, reads: Sequence[Access], writes: Sequence[Access]
+    ) -> None:
+        for src in reads:
+            for dst in writes:
+                if src.array != dst.array:
+                    continue
+                deps = compute_dependences(
+                    src,
+                    dst,
+                    DependenceKind.ANTI,
+                    self.symbols,
+                    assertions=self.options.assertions,
+                    array_bounds=self.program.array_bounds,
+                )
+                for dep in deps:
+                    if self.options.extended and self.options.extend_all_kinds:
+                        dep = refine_dependence(
+                            dep, partial=self.options.partial_refine
+                        ).dependence
+                        if self.options.terminate:
+                            dep.covers = terminates_source(dep)
+                    self.result.anti.append(dep)
+
+    def _compute_input_dependences(self, reads: Sequence[Access]) -> None:
+        for src in reads:
+            for dst in reads:
+                if src.array != dst.array or src is dst:
+                    continue
+                if src.statement.position > dst.statement.position:
+                    continue
+                self.result.input.extend(
+                    compute_dependences(
+                        src,
+                        dst,
+                        DependenceKind.INPUT,
+                        self.symbols,
+                        assertions=self.options.assertions,
+                        array_bounds=self.program.array_bounds,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def _compute_flow_dependences(
+        self, reads: Sequence[Access], writes: Sequence[Access]
+    ) -> None:
+        kill_tester = KillTester(
+            self.symbols,
+            self.output_pairs,
+            array_bounds=self.program.array_bounds,
+        )
+        for read in reads:
+            per_read: list[Dependence] = []
+            for write in writes:
+                if write.array != read.array:
+                    continue
+                per_read.extend(self._analyze_pair(write, read))
+            if self.options.extended and self.options.cover:
+                self._apply_cover_elimination(per_read)
+            if self.options.extended and self.options.terminate:
+                self._apply_terminators(per_read)
+            if self.options.extended and self.options.kill:
+                self._apply_kills(per_read, kill_tester)
+            self.result.flow.extend(per_read)
+
+    def _analyze_pair(self, write: Access, read: Access) -> list[Dependence]:
+        """Standard + extended analysis of one array pair, with timing."""
+
+        t0 = time.perf_counter()
+        deps = compute_dependences(
+            write,
+            read,
+            DependenceKind.FLOW,
+            self.symbols,
+            assertions=self.options.assertions,
+            array_bounds=self.program.array_bounds,
+        )
+        t_standard = time.perf_counter() - t0
+
+        consulted_omega = False
+        if self.options.extended and deps:
+            refined: list[Dependence] = []
+            for dep in deps:
+                if self.options.refine and self._refine_quick_allows(dep):
+                    outcome = refine_dependence(
+                        dep, partial=self.options.partial_refine
+                    )
+                    consulted_omega = consulted_omega or outcome.attempted
+                    dep = outcome.dependence
+                refined.append(dep)
+            deps = refined
+            if self.options.cover:
+                for dep in deps:
+                    if cover_quick_reject(dep):
+                        continue
+                    consulted_omega = True
+                    dep.covers = covers_destination(dep, use_quick_test=False)
+        t_extended = time.perf_counter() - t0
+
+        if self.options.record_timings:
+            if not consulted_omega:
+                category = PairCategory.FAST
+            elif len(deps) > 1:
+                category = PairCategory.SPLIT
+            else:
+                category = PairCategory.GENERAL
+            self.result.pair_records.append(
+                PairRecord(
+                    write, read, t_standard, t_extended, category, len(deps)
+                )
+            )
+        return deps
+
+    def _refine_quick_allows(self, dep: Dependence) -> bool:
+        """Quick test: refinement in some loop needs a self-output
+        dependence of the source with a non-zero distance in that loop."""
+
+        if not dep.deltas:
+            return False
+        levels = self.self_output_nonzero.get(dep.src, set())
+        if not levels:
+            return False
+        # Some level must be non-exact (refinable) and self-overwriting.
+        for vector in dep.directions:
+            for index, component in enumerate(vector, start=1):
+                if not component.is_exact and index in levels:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _apply_cover_elimination(self, deps: list[Dependence]) -> None:
+        """Use covering dependences to rule out writes that completely
+        precede the coverer (no kill test needed)."""
+
+        covers = [d for d in deps if d.covers]
+        for cover in covers:
+            for dep in deps:
+                if dep is cover or dep.status is not DependenceStatus.LIVE:
+                    continue
+                if self._completely_before(dep.src, cover.src):
+                    dep.status = DependenceStatus.COVERED
+                    dep.eliminated_by = cover
+
+    @staticmethod
+    def _completely_before(a: Access, b: Access) -> bool:
+        """Structurally: every instance of ``a`` runs before any of ``b``."""
+
+        return (
+            common_depth(a, b) == 0
+            and a.statement.position < b.statement.position
+        )
+
+    def _apply_terminators(self, deps: list[Dependence]) -> None:
+        """Terminating dependences (Section 4.3): a write B that overwrites
+        everything A accessed kills any dependence from A to accesses that
+        run entirely after B."""
+
+        for dep in deps:
+            if dep.status is not DependenceStatus.LIVE:
+                continue
+            for terminator in self.terminators.get(dep.src, ()):  
+                if self._completely_before(terminator.dst, dep.dst):
+                    dep.status = DependenceStatus.KILLED
+                    dep.eliminated_by = terminator
+                    break
+
+    def _apply_kills(
+        self, deps: list[Dependence], tester: KillTester
+    ) -> None:
+        for victim in deps:
+            if victim.status is not DependenceStatus.LIVE:
+                continue
+            for killer in deps:
+                if killer is victim:
+                    continue
+                if killer.status is not DependenceStatus.LIVE:
+                    continue
+                t0 = time.perf_counter()
+                killed = tester.kills(victim, killer)
+                elapsed = time.perf_counter() - t0
+                if self.options.record_timings:
+                    self.result.kill_timings.append(
+                        KillTiming(
+                            victim.src,
+                            killer.src,
+                            victim.dst,
+                            elapsed,
+                            self._pair_time(victim.src, victim.dst),
+                            tester.records[-1].used_omega,
+                            killed,
+                        )
+                    )
+                if killed:
+                    victim.status = DependenceStatus.KILLED
+                    victim.eliminated_by = killer
+                    break
+
+    def _pair_time(self, src: Access, dst: Access) -> float:
+        for record in self.result.pair_records:
+            if record.src is src and record.dst is dst:
+                return record.extended_time
+        return 0.0

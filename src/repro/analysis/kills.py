@@ -1,0 +1,231 @@
+"""Kill analysis (Section 4.1) and the quick tests of Section 4.5.
+
+A dependence from A to C is killed by the dependence from a write B to C
+iff every element A passes to C is overwritten by B in between::
+
+    forall i, k, Sym:
+      i in [A] and k in [C] and A(i) << C(k) and A(i) sub= C(k)
+        =>  exists j . j in [B] and A(i) << B(j) << C(k)
+                       and B(j) sub= C(k)
+
+The left side is the victim dependence's own problem (already a
+conjunction, thanks to restraint vectors).  The right side needs a fresh
+instance of B; the two execution orders are disjunctions over carrier
+levels, so we enumerate case pairs, project each onto (i, k, Sym), and test
+the implication against the union of all resulting pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.ast import Access
+from ..omega import Problem, Variable, is_satisfiable
+from ..omega.errors import OmegaComplexityError
+from ..omega.gist import implies_union
+from ..omega.project import project
+from .dependences import Dependence
+from .ordering import execution_order_cases
+from .problem import SymbolTable, build_instance, common_depth
+from .vectors import DirComponent
+
+__all__ = ["KillTester", "kill_quick_reject", "closer_cover_quick_kill", "distance_ranges"]
+
+
+def distance_ranges(dep: Dependence) -> list[DirComponent]:
+    """Per-level distance intervals, unioned over direction vectors."""
+
+    if not dep.directions:
+        return [DirComponent(None, None) for _ in dep.deltas]
+    merged = list(dep.directions[0])
+    for vector in dep.directions[1:]:
+        merged = [m.merge(c) for m, c in zip(merged, vector)]
+    return merged
+
+
+def kill_quick_reject(
+    victim: Dependence,
+    killer: Dependence,
+    output_pairs: set[tuple[Access, Access]],
+) -> bool:
+    """True when the quick tests show the kill cannot happen.
+
+    1.  "there must be an output dependence between A and B" — no output
+        dependence from the victim's source to the killer's source means
+        the killer writes different elements.
+    2.  "it must be possible for the dependence distance from A to C to
+        equal the total distance from A to B and B to C": interval
+        arithmetic on the per-level distance ranges over the loops common
+        to all three statements.
+    """
+
+    a, b = victim.src, killer.src
+    if a is not b and (a, b) not in output_pairs:
+        return True
+
+    # Distance compatibility on the loops common to A, B and C.
+    depth = min(
+        common_depth(a, b),
+        common_depth(b, victim.dst),
+        len(victim.deltas),
+    )
+    if depth <= 0 or a is b:
+        return False
+    victim_ranges = distance_ranges(victim)
+    killer_ranges = distance_ranges(killer)
+    for level in range(min(depth, len(killer_ranges))):
+        v = victim_ranges[level]
+        k = killer_ranges[level]
+        # total = (A->B distance) + (B->C distance); A->B distance >= ...
+        # We only know the B->C component k; A->B is unconstrained here
+        # except it must be >= 0 at the first differing level.  A cheap,
+        # sound check: the victim's max distance must be at least the
+        # killer's min distance (the killer acts after A).
+        if v.hi is not None and k.lo is not None and v.hi < k.lo:
+            return True
+    return False
+
+
+def closer_cover_quick_kill(victim: Dependence, killer: Dependence) -> bool:
+    """Section 4.5's positive quick test.
+
+    "If we are trying to kill a dependence from A to C with a *covering*
+    dependence from B to C, and the dependence from B is always closer
+    than the dependence from A, then we know the dependence from A to C is
+    killed without having to perform the general test."
+
+    Sound criterion used here: the killer covers C, the two dependences
+    share C's full common depth, and the killer's distance is always
+    lexicographically smaller — i.e. at some level the killer's maximum
+    distance is below the victim's minimum while every outer level is
+    pinned to the same constant for both.
+    """
+
+    if not killer.covers:
+        return False
+    if len(victim.deltas) != len(killer.deltas) or not victim.deltas:
+        return False
+    victim_ranges = distance_ranges(victim)
+    killer_ranges = distance_ranges(killer)
+    for v, k in zip(victim_ranges, killer_ranges):
+        if k.hi is not None and v.lo is not None and k.hi < v.lo:
+            return True
+        # To keep looking deeper, both must be pinned to the same value.
+        if not (v.is_exact and k.is_exact and v.lo == k.lo):
+            return False
+    return False
+
+
+@dataclass
+class KillRecord:
+    victim: Dependence
+    killer: Dependence
+    killed: bool
+    used_omega: bool
+    elapsed: float = 0.0
+
+
+class KillTester:
+    """Performs kill tests for dependences sharing a destination."""
+
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        output_pairs: set[tuple[Access, Access]],
+        *,
+        array_bounds=None,
+        max_cases: int = 16,
+    ):
+        self.symbols = symbols
+        self.output_pairs = output_pairs
+        self.array_bounds = array_bounds
+        self.max_cases = max_cases
+        self.records: list[KillRecord] = []
+
+    def kills(self, victim: Dependence, killer: Dependence) -> bool:
+        """Does ``killer`` (a write -> dst dependence) kill ``victim``?"""
+
+        if victim is killer or victim.dst is not killer.dst:
+            return False
+        if not killer.src.is_write:
+            return False
+        if kill_quick_reject(victim, killer, self.output_pairs):
+            self.records.append(KillRecord(victim, killer, False, False))
+            return False
+        if closer_cover_quick_kill(victim, killer):
+            self.records.append(KillRecord(victim, killer, True, False))
+            return True
+        result = self._general_test(victim, killer)
+        self.records.append(KillRecord(victim, killer, result, True))
+        return result
+
+    # ------------------------------------------------------------------
+    def _general_test(self, victim: Dependence, killer: Dependence) -> bool:
+        pair = victim.pair
+        b_ctx = build_instance(killer.src, "b", self.symbols, self.array_bounds)
+
+        # Subscript equality B(j) sub= C(k).
+        from .problem import _translate
+
+        coupling = Problem(name="B sub= C")
+        extra_domain = Problem(name="[B]")
+        extra_domain.extend(b_ctx.domain.constraints)
+        if len(killer.src.ref.subscripts) != len(victim.dst.ref.subscripts):
+            return False
+        for b_sub, c_sub in zip(
+            killer.src.ref.subscripts, victim.dst.ref.subscripts
+        ):
+            lhs = _translate(b_sub, b_ctx, self.symbols, extra_domain)
+            rhs = _translate(c_sub, pair.dst_ctx, self.symbols, extra_domain)
+            coupling.add_eq(lhs, rhs)
+
+        ab_cases = execution_order_cases(pair.src_ctx, b_ctx)
+        bc_cases = execution_order_cases(b_ctx, pair.dst_ctx)
+        if not ab_cases or not bc_cases:
+            return False
+        if len(ab_cases) * len(bc_cases) > self.max_cases:
+            return False  # conservative
+
+        keep = (
+            list(pair.src_ctx.loop_vars)
+            + list(pair.dst_ctx.loop_vars)
+            + list(pair.delta_vars)
+            + pair.sym_vars()
+        )
+        keep_set = set(keep)
+        # Symbolic variables minted for B's own uterm occurrences belong to
+        # the existential side and must be projected away with B's loop
+        # variables.
+        b_side_syms = {occ.value_var for occ in b_ctx.occurrences}
+        for occ in b_ctx.occurrences:
+            b_side_syms.update(occ.arg_vars)
+        pieces: list[Problem] = []
+        for ab in ab_cases:
+            for bc in bc_cases:
+                rhs_problem = Problem(
+                    list(victim.problem.constraints)
+                    + list(extra_domain.constraints)
+                    + list(coupling.constraints)
+                    + ab
+                    + bc,
+                    name="kill-rhs",
+                )
+                if not is_satisfiable(rhs_problem):
+                    continue
+                rhs_keep = [
+                    v
+                    for v in rhs_problem.variables()
+                    if v in keep_set
+                    or (v.is_symbolic and v not in b_side_syms)
+                ]
+                projection = project(rhs_problem, rhs_keep)
+                if not projection.exact_union:
+                    continue  # drop this case, conservative
+                pieces.extend(projection.pieces)
+
+        if not pieces:
+            return False
+        try:
+            return implies_union(victim.problem, pieces)
+        except OmegaComplexityError:
+            return False

@@ -1,0 +1,139 @@
+"""Refinement of dependence distances (Section 4.4).
+
+A dependence from write A to access B refines to distance set D when every
+iteration of B receiving the dependence also receives it from a source
+within D.  Candidate Ds fix the distance loop-by-loop from the outside in
+to the *minimum* feasible value — which makes the refined dependence carry
+the most recent writes, enabling the simplified test::
+
+    forall k, Sym:
+      (exists i . i in [A] and A(i) << B(k) and A(i) sub= B(k))
+        =>  (exists j . j in [A] and A(j) <<_D B(k) and A(j) sub= B(k))
+
+Both sides are projections onto (k, Sym); the implication is checked with
+gists / union implications, handling splintered projections.
+
+As a documented extension (``partial=True``) we also try small *ranges*
+(e.g. ``0:1``) when an exact fix fails; the paper notes its generator "will
+not automatically find the partial refinement in Example 5" — ours does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..omega import Problem, Variable, is_satisfiable
+from ..omega.errors import OmegaComplexityError
+from ..omega.gist import implies_union
+from ..omega.project import project
+from .dependences import Dependence
+from .vectors import STAR, DirComponent, DirectionVector, component_bounds, direction_vectors
+
+__all__ = ["refine_dependence", "RefinementOutcome"]
+
+_PARTIAL_WIDTH = 2  # how far above the minimum a range refinement may reach
+
+
+class RefinementOutcome:
+    """Result wrapper: the (possibly) refined dependence plus telemetry."""
+
+    def __init__(self, dependence: Dependence, attempted: bool, levels_fixed: int):
+        self.dependence = dependence
+        self.attempted = attempted
+        self.levels_fixed = levels_fixed
+
+
+def _lhs_keep(dep: Dependence) -> list[Variable]:
+    keep = list(dep.pair.dst_ctx.loop_vars)
+    keep.extend(dep.pair.sym_vars())
+    return keep
+
+
+def _implication_holds(
+    lhs_pieces: list[Problem], rhs_pieces: list[Problem]
+) -> bool:
+    if not rhs_pieces:
+        return not lhs_pieces
+    try:
+        return all(implies_union(piece, rhs_pieces) for piece in lhs_pieces)
+    except OmegaComplexityError:
+        return False  # conservative: do not refine
+
+
+def refine_dependence(
+    dep: Dependence, *, partial: bool = False
+) -> RefinementOutcome:
+    """Attempt to refine a dependence; returns the refined dependence.
+
+    The input dependence is not mutated; when refinement succeeds a new
+    :class:`Dependence` is returned with ``refined=True`` and the original
+    direction vectors preserved in ``unrefined_directions``.
+    """
+
+    deltas = dep.deltas
+    if not deltas:
+        return RefinementOutcome(dep, False, 0)
+
+    keep = _lhs_keep(dep)
+    lhs_projection = project(dep.problem, keep)
+    if not lhs_projection.exact_union:
+        return RefinementOutcome(dep, True, 0)
+    lhs_pieces = lhs_projection.pieces
+
+    fixed: list[DirComponent] = []
+    narrowed = False
+    for level, delta in enumerate(deltas):
+        context = Problem(list(dep.problem.constraints), name=dep.problem.name)
+        for component, dv in zip(fixed, deltas):
+            context.extend(component.constraints(dv))
+        bounds = component_bounds(context, delta)
+        if bounds.lo is None:
+            break
+        if bounds.is_exact:
+            # Already pinned; nothing to test at this level.
+            fixed.append(bounds)
+            continue
+        candidates = [DirComponent(bounds.lo, bounds.lo)]
+        if partial:
+            hi_limit = bounds.hi if bounds.hi is not None else bounds.lo + _PARTIAL_WIDTH
+            for hi in range(bounds.lo + 1, min(bounds.lo + _PARTIAL_WIDTH, hi_limit) + 1):
+                candidates.append(DirComponent(bounds.lo, hi))
+        accepted: DirComponent | None = None
+        for candidate in candidates:
+            trial = Problem(list(context.constraints), name=context.name)
+            trial.extend(candidate.constraints(delta))
+            if not is_satisfiable(trial):
+                continue
+            rhs_projection = project(trial, keep)
+            if _implication_holds(lhs_pieces, rhs_projection.pieces):
+                accepted = candidate
+                break
+        if accepted is None:
+            break
+        fixed.append(accepted)
+        if (accepted.lo, accepted.hi) != (bounds.lo, bounds.hi):
+            narrowed = True
+
+    if not fixed or not narrowed:
+        return RefinementOutcome(dep, True, len(fixed))
+
+    refined_problem = Problem(list(dep.problem.constraints), name=dep.problem.name)
+    for component, delta in zip(fixed, deltas):
+        refined_problem.extend(component.constraints(delta))
+    new_directions = direction_vectors(refined_problem, deltas)
+    really_refined = new_directions != dep.directions
+    refined = Dependence(
+        dep.kind,
+        dep.src,
+        dep.dst,
+        dep.pair,
+        dep.restraint,
+        refined_problem,
+        new_directions,
+        refined=really_refined,
+        unrefined_directions=list(dep.directions),
+    )
+    if not really_refined:
+        return RefinementOutcome(dep, True, len(fixed))
+    return RefinementOutcome(refined, True, len(fixed))

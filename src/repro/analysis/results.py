@@ -1,0 +1,109 @@
+"""Result containers for a full program analysis."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..ir.ast import Access, Program
+from .dependences import Dependence, DependenceKind, DependenceStatus
+
+__all__ = ["PairCategory", "PairRecord", "KillTiming", "AnalysisResult"]
+
+
+class PairCategory(enum.Enum):
+    """Figure 6's three pair populations."""
+
+    #: Quick tests showed refinement and coverage impossible; the extended
+    #: machinery never consulted the Omega test.
+    FAST = "fast"
+    #: General refinement/cover test ran on a single dependence vector.
+    GENERAL = "general"
+    #: The dependence was split into several dependence vectors.
+    SPLIT = "split"
+
+
+@dataclass
+class PairRecord:
+    """Timing and classification for one write/read array pair."""
+
+    src: Access
+    dst: Access
+    standard_time: float
+    extended_time: float
+    category: PairCategory
+    dependence_count: int
+
+    @property
+    def ratio(self) -> float:
+        if self.standard_time <= 0:
+            return float("inf")
+        return self.extended_time / self.standard_time
+
+
+@dataclass
+class KillTiming:
+    """Timing for one potential kill (one pair of dependences to a read)."""
+
+    victim_src: Access
+    killer_src: Access
+    dst: Access
+    kill_time: float
+    generation_time: float
+    used_omega: bool
+    killed: bool
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the analysis produced for one program."""
+
+    program: Program
+    flow: list[Dependence] = field(default_factory=list)
+    anti: list[Dependence] = field(default_factory=list)
+    output: list[Dependence] = field(default_factory=list)
+    input: list[Dependence] = field(default_factory=list)
+    pair_records: list[PairRecord] = field(default_factory=list)
+    kill_timings: list[KillTiming] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def live_flow(self) -> list[Dependence]:
+        return [d for d in self.flow if d.status is DependenceStatus.LIVE]
+
+    def dead_flow(self) -> list[Dependence]:
+        return [d for d in self.flow if d.status is not DependenceStatus.LIVE]
+
+    def all_dependences(self) -> list[Dependence]:
+        return (
+            list(self.flow)
+            + list(self.anti)
+            + list(self.output)
+            + list(self.input)
+        )
+
+    def flow_between(self, src_label: str, dst_label: str) -> list[Dependence]:
+        """Flow dependences between two statement labels (any status)."""
+
+        return [
+            d
+            for d in self.flow
+            if d.src.statement.label == src_label
+            and d.dst.statement.label == dst_label
+        ]
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "flow_live": len(self.live_flow()),
+            "flow_dead": len(self.dead_flow()),
+            "anti": len(self.anti),
+            "output": len(self.output),
+            "input": len(self.input),
+            "pairs": len(self.pair_records),
+        }
+
+    def category_counts(self) -> dict[PairCategory, int]:
+        found: dict[PairCategory, int] = {c: 0 for c in PairCategory}
+        for record in self.pair_records:
+            found[record.category] += 1
+        return found

@@ -1,0 +1,385 @@
+"""Direction, distance and restraint vectors (Section 2 of the paper).
+
+A *direction vector* summarizes the possible signs of the dependence
+distance per common loop; when the distance is pinned we show the constant
+(the paper prints ``(0,0,1,0)``).  A single direction vector is not always
+exact — ``di = dj`` compresses to ``(0+,0+)`` which falsely suggests
+``(0,+)`` — so we enumerate sign combinations with the Omega test, then
+greedily merge boxes only when the merge adds no spurious combination
+("partially compressed direction vectors").
+
+A *restraint vector* (Section 2.1.2) is a conjunction of per-level sign
+constraints that filters out every lexicographically-negative (or
+zero-but-syntactically-backward) solution while keeping every forward one.
+When no single restraint vector works the dependence is split, one
+dependence per restraint vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..omega import Constraint, LinearExpr, Problem, Variable, ge, is_satisfiable, le
+from ..omega.project import project
+
+__all__ = [
+    "DirComponent",
+    "DirectionVector",
+    "RestraintVector",
+    "PLUS",
+    "MINUS",
+    "ZERO",
+    "ZERO_PLUS",
+    "STAR",
+    "direction_vectors",
+    "restraint_vectors",
+    "component_bounds",
+    "lexicographically_bad_exists",
+]
+
+
+@dataclass(frozen=True)
+class DirComponent:
+    """Allowed distance range for one loop: ``lo <= d <= hi`` (None = open)."""
+
+    lo: int | None
+    hi: int | None
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise ValueError(f"empty direction component {self.lo}:{self.hi}")
+
+    def constraints(self, delta: Variable) -> list[Constraint]:
+        found: list[Constraint] = []
+        if self.lo is not None:
+            found.append(ge(LinearExpr({delta: 1}, -self.lo)))
+        if self.hi is not None:
+            found.append(ge(LinearExpr({delta: -1}, self.hi)))
+        return found
+
+    @property
+    def is_exact(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    @property
+    def is_star(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    def admits(self, value: int) -> bool:
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def admits_sign(self, sign: int) -> bool:
+        """Does the component allow some value with the given sign?"""
+
+        if sign < 0:
+            return self.lo is None or self.lo < 0
+        if sign > 0:
+            return self.hi is None or self.hi > 0
+        return self.admits(0)
+
+    def merge(self, other: "DirComponent") -> "DirComponent":
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return DirComponent(lo, hi)
+
+    def __str__(self) -> str:
+        if self.is_star:
+            return "*"
+        if self.is_exact:
+            return str(self.lo)
+        if self.lo is not None and self.hi is not None:
+            if (self.lo, self.hi) == (0, 1):
+                return "0:1"
+            return f"{self.lo}:{self.hi}"
+        if self.lo == 0:
+            return "0+"
+        if self.lo == 1:
+            return "+"
+        if self.hi == 0:
+            return "0-"
+        if self.hi == -1:
+            return "-"
+        if self.lo is not None:
+            return f"{self.lo}+"
+        return f"{self.hi}-"
+
+
+PLUS = DirComponent(1, None)
+MINUS = DirComponent(None, -1)
+ZERO = DirComponent(0, 0)
+ZERO_PLUS = DirComponent(0, None)
+ZERO_MINUS = DirComponent(None, 0)
+STAR = DirComponent(None, None)
+
+
+class DirectionVector(tuple):
+    """A tuple of :class:`DirComponent` with paper-style rendering."""
+
+    def __new__(cls, components: Iterable[DirComponent]):
+        return super().__new__(cls, tuple(components))
+
+    def constraints(self, deltas: Sequence[Variable]) -> list[Constraint]:
+        found: list[Constraint] = []
+        for component, delta in zip(self, deltas):
+            found.extend(component.constraints(delta))
+        return found
+
+    @property
+    def is_loop_independent(self) -> bool:
+        return all(c.is_exact and c.lo == 0 for c in self)
+
+    def admits(self, distance: Sequence[int]) -> bool:
+        return all(c.admits(v) for c, v in zip(self, distance))
+
+    def lexicographically_positive_part(self) -> bool:
+        """Could some admitted distance be lexicographically positive?"""
+
+        for component in self:
+            if component.hi is None or component.hi > 0:
+                return True
+            if not component.admits(0):
+                return False
+        return False
+
+    def __str__(self) -> str:
+        return "(" + ",".join(str(c) for c in self) + ")"
+
+
+RestraintVector = DirectionVector  # same structure, different role
+
+
+# ---------------------------------------------------------------------------
+# Direction vector computation
+# ---------------------------------------------------------------------------
+
+
+def component_bounds(
+    problem: Problem, delta: Variable, limit: int = 64
+) -> DirComponent:
+    """Constant bounds on one distance variable, via projection.
+
+    Projects the problem onto ``delta`` alone (eliminating symbolic
+    constants too, so the bounds are absolute integers) and reads the
+    interval off the real shadow — safe, since the real shadow is a
+    superset of the true projection.
+    """
+
+    projection = project(problem, [delta])
+    shadow = projection.real
+    lo: int | None = None
+    hi: int | None = None
+    for constraint in shadow.constraints:
+        coeff = constraint.coeff(delta)
+        if coeff == 0:
+            continue
+        if any(v.is_wildcard for v in constraint.variables()):
+            # A stride equality (e.g. d - 2*sigma = 0, "d is even") is not
+            # an interval bound; skip it — the interval stays conservative.
+            continue
+        if constraint.is_equality:
+            value = -constraint.expr.constant // coeff
+            return DirComponent(value, value)
+        # normalized: coeff is +-1 after gcd reduction.
+        # a*d + c >= 0 with a > 0:  d >= ceil(-c/a) = -floor(c/a)
+        # -a*d + c >= 0 with a > 0: d <= floor(c/a)
+        if coeff > 0:
+            bound = -(constraint.expr.constant // coeff)
+            lo = bound if lo is None else max(lo, bound)
+        else:
+            bound = constraint.expr.constant // -coeff
+            hi = bound if hi is None else min(hi, bound)
+    if lo is not None and hi is not None and lo == hi:
+        return DirComponent(lo, hi)
+    return DirComponent(lo, hi)
+
+
+_SIGNS = (MINUS, ZERO, PLUS)
+
+
+def direction_vectors(
+    problem: Problem,
+    deltas: Sequence[Variable],
+    *,
+    refine_distances: bool = True,
+) -> list[DirectionVector]:
+    """Enumerate exact sign combinations, then compress into boxes.
+
+    The result is a set of partially compressed direction vectors whose
+    union exactly covers the satisfiable sign combinations: merging never
+    introduces a sign combination that the problem cannot realize.
+    """
+
+    if not deltas:
+        return [DirectionVector(())] if is_satisfiable(problem) else []
+
+    combos: list[tuple[DirComponent, ...]] = []
+
+    def explore(prefix: tuple[DirComponent, ...], constraints: list[Constraint]):
+        level = len(prefix)
+        if level == len(deltas):
+            combos.append(prefix)
+            return
+        for sign in _SIGNS:
+            extra = sign.constraints(deltas[level])
+            trial = Problem(list(problem.constraints) + constraints + extra)
+            if is_satisfiable(trial):
+                explore(prefix + (sign,), constraints + extra)
+
+    explore((), [])
+    if not combos:
+        return []
+
+    boxes = _merge_boxes(combos, set(combos))
+
+    vectors: list[DirectionVector] = []
+    for box in boxes:
+        if refine_distances:
+            refined: list[DirComponent] = []
+            context = Problem(list(problem.constraints))
+            for component, delta in zip(box, deltas):
+                context = Problem(
+                    list(context.constraints) + component.constraints(delta)
+                )
+            for component, delta in zip(box, deltas):
+                bounds = component_bounds(context, delta)
+                merged = DirComponent(
+                    bounds.lo
+                    if bounds.lo is not None
+                    else component.lo,
+                    bounds.hi if bounds.hi is not None else component.hi,
+                )
+                refined.append(merged)
+            vectors.append(DirectionVector(refined))
+        else:
+            vectors.append(DirectionVector(box))
+    return vectors
+
+
+def _merge_boxes(
+    boxes: list[tuple[DirComponent, ...]], realizable: set[tuple[DirComponent, ...]]
+) -> list[tuple[DirComponent, ...]]:
+    """Greedily merge sign boxes along single dimensions, exactly.
+
+    Two boxes differing in one component merge when every sign combination
+    of the merged box is realizable — the paper's criterion for compressing
+    without falsely suggesting e.g. (0,+) from {(+,+),(0,0)}.
+    """
+
+    def signs_in(component: DirComponent) -> list[DirComponent]:
+        return [s for s in _SIGNS if _sign_within(s, component)]
+
+    def box_combos(box: tuple[DirComponent, ...]):
+        import itertools as it
+
+        pools = [signs_in(c) for c in box]
+        return it.product(*pools)
+
+    current = list(dict.fromkeys(boxes))
+    changed = True
+    while changed:
+        changed = False
+        for a_index in range(len(current)):
+            for b_index in range(a_index + 1, len(current)):
+                a, b = current[a_index], current[b_index]
+                diff = [i for i in range(len(a)) if a[i] != b[i]]
+                if len(diff) != 1:
+                    continue
+                i = diff[0]
+                merged_component = a[i].merge(b[i])
+                merged = a[:i] + (merged_component,) + a[i + 1 :]
+                if all(c in realizable for c in box_combos(merged)):
+                    current.pop(b_index)
+                    current.pop(a_index)
+                    current.append(merged)
+                    changed = True
+                    break
+            if changed:
+                break
+    return current
+
+
+def _sign_within(sign: DirComponent, component: DirComponent) -> bool:
+    if sign is MINUS:
+        return component.lo is None or component.lo < 0
+    if sign is ZERO:
+        return component.admits(0)
+    return component.hi is None or component.hi > 0
+
+
+# ---------------------------------------------------------------------------
+# Restraint vectors
+# ---------------------------------------------------------------------------
+
+
+def lexicographically_bad_exists(
+    problem: Problem,
+    deltas: Sequence[Variable],
+    forward: bool,
+    start: int = 0,
+) -> bool:
+    """Does the problem admit a lexicographically-negative distance, or an
+    all-zero distance when the pair is not syntactically forward?"""
+
+    prefix: list[Constraint] = []
+    for level in range(start, len(deltas)):
+        negative = Problem(
+            list(problem.constraints)
+            + prefix
+            + [le(LinearExpr({deltas[level]: 1}), -1)]
+        )
+        if is_satisfiable(negative):
+            return True
+        prefix.extend(ZERO.constraints(deltas[level]))
+    if not forward:
+        zero = Problem(list(problem.constraints) + prefix)
+        if is_satisfiable(zero):
+            return True
+    return False
+
+
+def restraint_vectors(
+    problem: Problem, deltas: Sequence[Variable], forward: bool
+) -> list[RestraintVector]:
+    """Compute a set of restraint vectors for a dependence problem.
+
+    Each returned vector's constraints exclude every lexicographically
+    backward solution; their union covers every forward solution.  The
+    greedy search prefers a single vector with few constraints (``(0+,*)``
+    beats splitting into ``(+,*) , (0,+)``) and splits only when forced,
+    exactly as Section 2.1.2 prescribes.
+    """
+
+    def recurse(current: Problem, level: int) -> list[tuple[DirComponent, ...]]:
+        if not is_satisfiable(current):
+            return []
+        if level == len(deltas):
+            return [()] if forward else []
+        delta = deltas[level]
+        can_negative = is_satisfiable(
+            Problem(
+                list(current.constraints) + [le(LinearExpr({delta: 1}), -1)]
+            )
+        )
+        at_zero = Problem(list(current.constraints) + ZERO.constraints(delta))
+        zero_bad = lexicographically_bad_exists(at_zero, deltas, forward, level + 1)
+        if not zero_bad:
+            head = ZERO_PLUS if can_negative else STAR
+            return [(head,) + (STAR,) * (len(deltas) - level - 1)]
+        # Splitting: strictly-positive head (rest unconstrained) plus the
+        # zero-head restraints of the residual problem.
+        results: list[tuple[DirComponent, ...]] = []
+        plus_head = Problem(
+            list(current.constraints) + PLUS.constraints(delta)
+        )
+        if is_satisfiable(plus_head):
+            results.append((PLUS,) + (STAR,) * (len(deltas) - level - 1))
+        for tail in recurse(at_zero, level + 1):
+            results.append((ZERO,) + tail)
+        return results
+
+    return [DirectionVector(v) for v in recurse(problem, 0)]

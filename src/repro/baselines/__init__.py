@@ -1,0 +1,38 @@
+"""Baseline dependence tests: "methods currently in use" circa 1992.
+
+These are the tests the paper's introduction contrasts against: they answer
+the conservative memory-overlap question, never the dataflow question, so
+they report every Figure 4 dependence as real.
+
+* :mod:`repro.baselines.ziv` — zero induction variable test.
+* :mod:`repro.baselines.gcdtest` — the GCD test on linear diophantine
+  solvability, per subscript dimension.
+* :mod:`repro.baselines.banerjee` — Banerjee's inequalities with direction
+  vector hierarchies.
+* :mod:`repro.baselines.siv` — exact single-index-variable tests (strong
+  and weak SIV).
+* :mod:`repro.baselines.suite` — a combined test in the style of practical
+  1992 compilers, plus whole-program drivers for comparison experiments.
+"""
+
+from .banerjee import banerjee_test
+from .gcdtest import gcd_test
+from .siv import siv_test
+from .suite import (
+    BaselineResult,
+    baseline_dependences,
+    combined_test,
+    compare_with_omega,
+)
+from .ziv import ziv_test
+
+__all__ = [
+    "ziv_test",
+    "gcd_test",
+    "banerjee_test",
+    "siv_test",
+    "combined_test",
+    "baseline_dependences",
+    "compare_with_omega",
+    "BaselineResult",
+]

@@ -1,0 +1,140 @@
+"""Banerjee's inequalities with direction vector hierarchies.
+
+For a direction vector theta over the common loops, the dimension equation
+``sum(a_l i_l) + sum(b_l j_l) + c = 0`` can hold only if 0 lies within the
+[min, max] interval of the left-hand side subject to the loop ranges and
+the direction constraints.  We evaluate the interval by substitution:
+
+* ``=``  merges the two variables (coefficient ``a_l + b_l``);
+* ``<``  sets ``j_l = i_l + t`` with ``t >= 1``;
+* ``>``  sets ``j_l = i_l - t`` with ``t >= 1``;
+
+then performs interval arithmetic over the variable ranges (open intervals
+for non-constant bounds, the classical conservative treatment).  This is
+equivalent to the textbook Banerjee bounds for unit-step loops and extends
+smoothly to unbounded ranges.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+from .common import DimensionProblem, VarRange, Verdict
+
+__all__ = ["banerjee_test", "banerjee_directions"]
+
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+def _interval_scale(lo, hi, coeff: int):
+    if coeff == 0:
+        return 0, 0  # avoids 0 * inf = nan
+    if coeff > 0:
+        return coeff * lo, coeff * hi
+    return coeff * hi, coeff * lo
+
+
+def _range_interval(rng: VarRange):
+    lo = rng.lo if rng.lo is not None else _NEG_INF
+    hi = rng.hi if rng.hi is not None else _POS_INF
+    return lo, hi
+
+
+def _dimension_interval(
+    dimension: DimensionProblem,
+    direction: Mapping[str, str],
+    ranges: Mapping[str, VarRange],
+):
+    """[min, max] of the difference expression under a direction vector."""
+
+    total_lo: float = dimension.constant
+    total_hi: float = dimension.constant
+
+    handled: set[str] = set()
+    for var, theta in direction.items():
+        a = dimension.src_coeffs.get(var, 0)
+        b = dimension.dst_coeffs.get(var, 0)
+        if not a and not b:
+            handled.add(var)
+            continue
+        base_lo, base_hi = _range_interval(ranges.get(var, VarRange(None, None)))
+        if theta == "=":
+            lo, hi = _interval_scale(base_lo, base_hi, a + b)
+            total_lo += lo
+            total_hi += hi
+        else:
+            # j = i +- t with t >= 1: contribution (a+b)*i +- b*t, with i
+            # ranging so that j stays in range too (conservatively: i in
+            # its own range, t in [1, span] or [1, inf)).
+            span = (
+                base_hi - base_lo
+                if base_lo != _NEG_INF and base_hi != _POS_INF
+                else _POS_INF
+            )
+            if span != _POS_INF and span < 1:
+                return None  # direction infeasible: loop has a single trip
+            lo_i, hi_i = _interval_scale(base_lo, base_hi, a + b)
+            sign = 1 if theta == "<" else -1
+            lo_t, hi_t = _interval_scale(1, span, b * sign)
+            total_lo += lo_i + lo_t
+            total_hi += hi_i + hi_t
+        handled.add(var)
+
+    for var, coeff in dimension.src_coeffs.items():
+        if var in handled:
+            continue
+        lo, hi = _interval_scale(
+            *_range_interval(ranges.get(var, VarRange(None, None))), coeff
+        )
+        total_lo += lo
+        total_hi += hi
+    for var, coeff in dimension.dst_coeffs.items():
+        if var in handled:
+            continue
+        lo, hi = _interval_scale(
+            *_range_interval(ranges.get(var, VarRange(None, None))), coeff
+        )
+        total_lo += lo
+        total_hi += hi
+    return total_lo, total_hi
+
+
+def banerjee_test(
+    dimension: DimensionProblem,
+    direction: Mapping[str, str],
+    ranges: Mapping[str, VarRange],
+) -> Verdict:
+    """Banerjee's inequalities for one dimension under one direction."""
+
+    if dimension.nonlinear or dimension.sym_coeffs:
+        return Verdict.MAYBE
+    interval = _dimension_interval(dimension, direction, ranges)
+    if interval is None:
+        return Verdict.NO
+    lo, hi = interval
+    return Verdict.MAYBE if lo <= 0 <= hi else Verdict.NO
+
+
+def banerjee_directions(
+    dimensions: Sequence[DimensionProblem],
+    common_vars: Sequence[str],
+    ranges: Mapping[str, VarRange],
+) -> list[dict[str, str]]:
+    """All direction vectors not refuted by Banerjee's inequalities.
+
+    Enumerates the {<, =, >} hierarchy over the common loops, testing every
+    dimension under each vector; a vector survives when no dimension is
+    refuted.
+    """
+
+    survivors: list[dict[str, str]] = []
+    for combo in itertools.product("<=>", repeat=len(common_vars)):
+        direction = dict(zip(common_vars, combo))
+        if all(
+            banerjee_test(dim, direction, ranges) for dim in dimensions
+        ):
+            survivors.append(direction)
+    return survivors

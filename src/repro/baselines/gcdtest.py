@@ -1,0 +1,28 @@
+"""The GCD test.
+
+``sum(a_l * i_l) + sum(b_l * j_l) + c = 0`` has an integer solution over
+unbounded iteration variables iff ``gcd(a, b)`` divides ``c``.  It ignores
+loop bounds entirely, so it only ever disproves dependences on divisibility
+grounds.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from .common import DimensionProblem, Verdict
+
+__all__ = ["gcd_test"]
+
+
+def gcd_test(dimension: DimensionProblem) -> Verdict:
+    """Apply the GCD test to one subscript dimension."""
+
+    if dimension.nonlinear or dimension.sym_coeffs:
+        return Verdict.MAYBE
+    g = 0
+    for coeff in dimension.loop_coefficients():
+        g = gcd(g, coeff)
+    if g == 0:
+        return Verdict.NO if dimension.constant != 0 else Verdict.MAYBE
+    return Verdict.MAYBE if dimension.constant % g == 0 else Verdict.NO

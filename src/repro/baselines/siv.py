@@ -1,0 +1,58 @@
+"""Exact single-index-variable (SIV) tests.
+
+For a dimension ``a*i - a*j + c = 0`` over one common loop variable
+(*strong SIV*), the dependence distance is exactly ``c/a``: no dependence
+unless it is an integer within the loop's trip range.  The *weak-zero*
+case (one side constant in the loop) pins the other side's iteration.
+"""
+
+from __future__ import annotations
+
+from .common import DimensionProblem, Verdict, VarRange
+
+__all__ = ["siv_test"]
+
+
+def siv_test(
+    dimension: DimensionProblem,
+    common_vars: list[str],
+    ranges: dict[str, VarRange],
+) -> Verdict:
+    """Apply strong/weak SIV tests to one dimension; MAYBE if not SIV."""
+
+    if dimension.nonlinear or dimension.sym_coeffs:
+        return Verdict.MAYBE
+    var = dimension.single_common_variable(common_vars)
+    if var is None:
+        return Verdict.MAYBE
+    a = dimension.src_coeffs.get(var, 0)
+    b = dimension.dst_coeffs.get(var, 0)  # already negated
+    c = dimension.constant
+    rng = ranges.get(var, VarRange(None, None))
+
+    if a and b and a == -b:
+        # strong SIV: a*(i - j) + c = 0  =>  distance j - i = c/a.
+        if c % a != 0:
+            return Verdict.NO
+        distance = c // a
+        if rng.bounded and abs(distance) > rng.hi - rng.lo:
+            return Verdict.NO
+        return Verdict.MAYBE
+
+    if a and not b:
+        # weak-zero on the source side: i = -c/a must be integral and in
+        # range.
+        if c % a != 0:
+            return Verdict.NO
+        value = -c // a
+        if rng.bounded and not (rng.lo <= value <= rng.hi):
+            return Verdict.NO
+        return Verdict.MAYBE
+    if b and not a:
+        if c % b != 0:
+            return Verdict.NO
+        value = -c // b
+        if rng.bounded and not (rng.lo <= value <= rng.hi):
+            return Verdict.NO
+        return Verdict.MAYBE
+    return Verdict.MAYBE

@@ -1,0 +1,28 @@
+"""The ZIV (zero induction variable) test.
+
+When a subscript dimension mentions no loop variables, the two sides are
+loop-invariant: a non-zero constant difference disproves the dependence;
+anything symbolic is a MAYBE.
+"""
+
+from __future__ import annotations
+
+from .common import DimensionProblem, Verdict
+
+__all__ = ["ziv_test"]
+
+
+def ziv_test(dimension: DimensionProblem) -> Verdict:
+    """Apply the ZIV test to one subscript dimension.
+
+    Only conclusive for dimensions without loop variables; dimensions that
+    do involve loop variables (not this test's business) return MAYBE.
+    """
+
+    if dimension.nonlinear:
+        return Verdict.MAYBE
+    if dimension.src_coeffs or dimension.dst_coeffs:
+        return Verdict.MAYBE
+    if dimension.sym_coeffs:
+        return Verdict.MAYBE
+    return Verdict.NO if dimension.constant != 0 else Verdict.MAYBE

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``analyze FILE``
+    Parse a mini-language program and print its live/dead flow dependence
+    tables (add ``--standard`` for the conservative memory-based analysis,
+    ``--assert "n <= m"`` for symbolic assertions, ``--all-kinds`` to list
+    anti/output dependences too).
+
+``parallel FILE``
+    Loop-by-loop parallelization report (with privatization suggestions).
+
+``queries FILE``
+    The symbolic questions (Section 5 dialogue) the program raises.
+
+``cholsky``
+    Regenerate the paper's Figures 3 and 4 from the built-in CHOLSKY
+    kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+from .analysis import (
+    AnalysisOptions,
+    SymbolicSession,
+    analyze,
+    parallelizable_loops,
+    parse_assertion,
+)
+from .ir import parse
+from .reporting import flow_tables
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command-line interface definition."""
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Array dependence analysis with the Omega test "
+            "(Pugh & Wonnacott, PLDI 1992)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze_cmd = commands.add_parser(
+        "analyze", help="print live/dead flow dependences for a program"
+    )
+    analyze_cmd.add_argument("file", type=pathlib.Path)
+    analyze_cmd.add_argument(
+        "--standard",
+        action="store_true",
+        help="conservative memory-based analysis (no kills/covers/refinement)",
+    )
+    analyze_cmd.add_argument(
+        "--assert",
+        dest="assertions",
+        action="append",
+        default=[],
+        metavar="TEXT",
+        help='symbolic assertion, e.g. --assert "n <= m" (repeatable)',
+    )
+    analyze_cmd.add_argument(
+        "--all-kinds",
+        action="store_true",
+        help="also list anti and output dependences",
+    )
+    analyze_cmd.add_argument(
+        "--partial-refine",
+        action="store_true",
+        help="enable range refinements such as (0:1,1)",
+    )
+    analyze_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full analysis as JSON instead of tables",
+    )
+
+    parallel_cmd = commands.add_parser(
+        "parallel", help="loop parallelization / privatization report"
+    )
+    parallel_cmd.add_argument("file", type=pathlib.Path)
+
+    queries_cmd = commands.add_parser(
+        "queries", help="symbolic questions raised by index arrays etc."
+    )
+    queries_cmd.add_argument("file", type=pathlib.Path)
+
+    commands.add_parser(
+        "cholsky", help="regenerate Figures 3 and 4 from the CHOLSKY kernel"
+    )
+    return parser
+
+
+def _load(path: pathlib.Path):
+    return parse(path.read_text(), path.stem)
+
+
+def _cmd_analyze(args) -> int:
+    program = _load(args.file)
+    options = AnalysisOptions(
+        extended=not args.standard,
+        partial_refine=args.partial_refine,
+        assertions=tuple(parse_assertion(text) for text in args.assertions),
+    )
+    result = analyze(program, options)
+    if args.json:
+        from .reporting import result_to_json
+
+        print(result_to_json(result))
+        return 0
+    print(flow_tables(result))
+    if args.all_kinds:
+        print("Anti dependences")
+        for dep in result.anti:
+            print(f"  {dep.describe()}")
+        print("Output dependences")
+        for dep in result.output:
+            print(f"  {dep.describe()}")
+    return 0
+
+
+def _cmd_parallel(args) -> int:
+    program = _load(args.file)
+    result = analyze(program)
+    for report in parallelizable_loops(result):
+        print(report.describe())
+    return 0
+
+
+def _cmd_queries(args) -> int:
+    program = _load(args.file)
+    session = SymbolicSession(program)
+    queries = session.pending_queries()
+    if not queries:
+        print("no symbolic questions: all access pairs are affine-decidable")
+        return 0
+    for query in queries:
+        print(f"--- {query.kind.value} dependence {query.src} -> {query.dst} ---")
+        print(query.render())
+    return 0
+
+
+def _cmd_cholsky(_args) -> int:
+    from .programs import cholsky
+
+    result = analyze(cholsky())
+    print(flow_tables(result))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "parallel": _cmd_parallel,
+        "queries": _cmd_queries,
+        "cholsky": _cmd_cholsky,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

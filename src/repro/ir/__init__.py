@@ -1,0 +1,51 @@
+"""Loop-nest IR: a *tiny*-style mini language with parser and interpreter."""
+
+from .affine import AffineExpr, UTerm, affine, uterm_ref, var
+from .ast import Access, ArrayRef, IRError, Loop, Program, Statement
+from .builder import ProgramBuilder
+from .interp import (
+    AccessEvent,
+    FlowInstance,
+    Interpreter,
+    Trace,
+    anti_dependence_instances,
+    memory_based_flows,
+    memory_based_pairs,
+    output_dependence_instances,
+    run_program,
+    value_based_flows,
+)
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse
+from .printer import to_text
+
+__all__ = [
+    "AffineExpr",
+    "UTerm",
+    "affine",
+    "var",
+    "uterm_ref",
+    "ArrayRef",
+    "Statement",
+    "Loop",
+    "Program",
+    "Access",
+    "IRError",
+    "ProgramBuilder",
+    "parse",
+    "ParseError",
+    "tokenize",
+    "Token",
+    "LexError",
+    "to_text",
+    "Interpreter",
+    "run_program",
+    "Trace",
+    "AccessEvent",
+    "FlowInstance",
+    "value_based_flows",
+    "memory_based_flows",
+    "memory_based_pairs",
+    "anti_dependence_instances",
+    "output_dependence_instances",
+]

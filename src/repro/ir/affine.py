@@ -1,0 +1,278 @@
+"""IR-level expressions: affine forms over names, plus uninterpreted terms.
+
+The analysis front end works with *names* (loop variables and symbolic
+constants), not solver variables; the dependence-problem builder later maps
+names onto :class:`repro.omega.Variable` instances per statement instance.
+
+An :class:`AffineExpr` is::
+
+    sum(coeff * name)  +  constant  +  sum(coeff * uterm)
+
+where each :class:`UTerm` is an uninterpreted term — an index-array read
+like ``Q[L1+1]``, a non-linear product like ``i*j``, or a mutated scalar —
+exactly the constructs Section 5 of the paper handles by introducing "a
+different symbolic variable for each appearance of the expression".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+__all__ = ["UTerm", "AffineExpr", "affine", "var", "uterm_ref"]
+
+
+@dataclass(frozen=True)
+class UTerm:
+    """An uninterpreted term embedded in an otherwise-affine expression.
+
+    ``kind`` is one of:
+
+    ``"array"``
+        An array read used as a value, e.g. ``Q[L1]`` in a subscript or
+        ``a(L2-1)`` on a right-hand side.  ``args`` are the subscripts.
+    ``"product"``
+        A non-linear product such as ``i*j``; the paper treats it "as an
+        array indexed by all the non-constant variables", i.e. ``Q[i,j]``.
+    ``"scalar"``
+        A scalar that is written somewhere in the program (so it is *not* a
+        symbolic constant); ``args`` are the enclosing loop variables — its
+        value is an unknown function of the iteration vector.
+    """
+
+    name: str
+    args: tuple["AffineExpr", ...]
+    kind: str = "array"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("array", "product", "scalar"):
+            raise ValueError(f"unknown UTerm kind {self.kind!r}")
+
+    def __str__(self) -> str:
+        if self.kind == "product":
+            return "*".join(str(a) for a in self.args)
+        if not self.args:
+            return self.name
+        return f"{self.name}[{','.join(str(a) for a in self.args)}]"
+
+    def referenced_arrays(self) -> frozenset[str]:
+        found = set()
+        if self.kind == "array":
+            found.add(self.name)
+        for arg in self.args:
+            found.update(arg.referenced_arrays())
+        return frozenset(found)
+
+
+class AffineExpr:
+    """An immutable linear combination of names, uterms and a constant."""
+
+    __slots__ = ("_coeffs", "_const", "_uterms")
+
+    def __init__(
+        self,
+        coeffs: Mapping[str, int] | None = None,
+        constant: int = 0,
+        uterms: Iterable[tuple[int, UTerm]] = (),
+    ):
+        clean: dict[str, int] = {}
+        if coeffs:
+            for name, coeff in coeffs.items():
+                if coeff:
+                    clean[name] = int(coeff)
+        merged: dict[UTerm, int] = {}
+        for coeff, term in uterms:
+            if coeff:
+                merged[term] = merged.get(term, 0) + coeff
+        self._coeffs = clean
+        self._const = int(constant)
+        self._uterms = tuple(
+            (coeff, term)
+            for term, coeff in sorted(merged.items(), key=lambda kv: str(kv[0]))
+            if coeff
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def coeffs(self) -> Mapping[str, int]:
+        return self._coeffs
+
+    @property
+    def constant(self) -> int:
+        return self._const
+
+    @property
+    def uterms(self) -> tuple[tuple[int, UTerm], ...]:
+        return self._uterms
+
+    @property
+    def is_affine(self) -> bool:
+        """True when the expression contains no uninterpreted terms."""
+
+        return not self._uterms
+
+    @property
+    def is_constant(self) -> bool:
+        return not self._coeffs and not self._uterms
+
+    def names(self) -> frozenset[str]:
+        """Names appearing linearly (not inside uterm arguments)."""
+
+        return frozenset(self._coeffs)
+
+    def all_names(self) -> frozenset[str]:
+        """Names appearing anywhere, including inside uterm arguments."""
+
+        found = set(self._coeffs)
+        for _c, term in self._uterms:
+            for arg in term.args:
+                found.update(arg.all_names())
+        return frozenset(found)
+
+    def referenced_arrays(self) -> frozenset[str]:
+        found: set[str] = set()
+        for _c, term in self._uterms:
+            found.update(term.referenced_arrays())
+        return frozenset(found)
+
+    def coeff(self, name: str) -> int:
+        return self._coeffs.get(name, 0)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value) -> "AffineExpr":
+        if isinstance(value, AffineExpr):
+            return value
+        if isinstance(value, str):
+            return AffineExpr({value: 1})
+        if isinstance(value, int):
+            return AffineExpr({}, value)
+        if isinstance(value, UTerm):
+            return AffineExpr({}, 0, [(1, value)])
+        raise TypeError(f"cannot interpret {value!r} as an affine expression")
+
+    def __add__(self, other) -> "AffineExpr":
+        rhs = self._coerce(other)
+        coeffs = dict(self._coeffs)
+        for name, coeff in rhs._coeffs.items():
+            coeffs[name] = coeffs.get(name, 0) + coeff
+        return AffineExpr(
+            coeffs,
+            self._const + rhs._const,
+            list(self._uterms) + list(rhs._uterms),
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "AffineExpr":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "AffineExpr":
+        return self._coerce(other) + (-self)
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr(
+            {k: -v for k, v in self._coeffs.items()},
+            -self._const,
+            [(-c, t) for c, t in self._uterms],
+        )
+
+    def __mul__(self, other) -> "AffineExpr":
+        rhs = self._coerce(other)
+        if rhs.is_constant:
+            k = rhs._const
+            return AffineExpr(
+                {name: c * k for name, c in self._coeffs.items()},
+                self._const * k,
+                [(c * k, t) for c, t in self._uterms],
+            )
+        if self.is_constant:
+            return rhs * self
+        # Non-linear: both sides mention variables.  Represent as a product
+        # uterm, "an array indexed by all the non-constant variables".
+        return AffineExpr({}, 0, [(1, UTerm("*", (self, rhs), "product"))])
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return (
+            self._coeffs == other._coeffs
+            and self._const == other._const
+            and self._uterms == other._uterms
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (tuple(sorted(self._coeffs.items())), self._const, self._uterms)
+        )
+
+    def substitute_name(self, name: str, replacement: "AffineExpr") -> "AffineExpr":
+        """Replace every linear and nested occurrence of ``name``."""
+
+        coeff = self._coeffs.get(name, 0)
+        coeffs = {k: v for k, v in self._coeffs.items() if k != name}
+        base = AffineExpr(coeffs, self._const)
+        result = base + replacement * coeff
+        for c, term in self._uterms:
+            new_args = tuple(
+                arg.substitute_name(name, replacement) for arg in term.args
+            )
+            result = result + AffineExpr(
+                {}, 0, [(c, UTerm(term.name, new_args, term.kind))]
+            )
+        return result
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+
+        def push(text: str) -> None:
+            if parts and not text.startswith("-"):
+                parts.append(f"+{text}")
+            else:
+                parts.append(text)
+
+        for name, coeff in sorted(self._coeffs.items()):
+            if coeff == 1:
+                push(name)
+            elif coeff == -1:
+                push(f"-{name}")
+            else:
+                push(f"{coeff}*{name}")
+        for coeff, term in self._uterms:
+            if coeff == 1:
+                push(str(term))
+            elif coeff == -1:
+                push(f"-{term}")
+            else:
+                push(f"{coeff}*{term}")
+        if self._const or not parts:
+            if parts and self._const >= 0:
+                parts.append(f"+{self._const}")
+            else:
+                parts.append(str(self._const))
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AffineExpr({self})"
+
+
+def affine(value) -> AffineExpr:
+    """Coerce ints, names and uterms to :class:`AffineExpr`."""
+
+    return AffineExpr._coerce(value)
+
+
+def var(name: str) -> AffineExpr:
+    """A single name (loop variable or symbolic constant) as an expression."""
+
+    return AffineExpr({name: 1})
+
+
+def uterm_ref(name: str, *args, kind: str = "array") -> AffineExpr:
+    """An expression that is a single uninterpreted term reference."""
+
+    return AffineExpr(
+        {}, 0, [(1, UTerm(name, tuple(affine(a) for a in args), kind))]
+    )

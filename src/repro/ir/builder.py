@@ -1,0 +1,100 @@
+"""A fluent builder API for constructing programs in Python.
+
+The text parser covers most uses; the builder is convenient for generated
+programs (the benchmark corpus) and for tests::
+
+    b = ProgramBuilder("example3")
+    with b.loop("L1", 1, "n"):
+        with b.loop("L2", 2, "m"):
+            b.assign(b.ref("a", b.v("L2")), b.read("a", b.v("L2") - 1))
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from .affine import AffineExpr, affine, uterm_ref, var
+from .ast import ArrayRef, IRError, Loop, Node, Program, Statement
+
+__all__ = ["ProgramBuilder"]
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` incrementally."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._root: list[Node] = []
+        self._stack: list[list[Node]] = [self._root]
+
+    # Expression helpers -------------------------------------------------
+    @staticmethod
+    def v(name: str) -> AffineExpr:
+        """A loop variable or symbolic constant as an expression."""
+
+        return var(name)
+
+    @staticmethod
+    def read(array: str, *subscripts) -> AffineExpr:
+        """An array read usable inside right-hand sides and subscripts."""
+
+        return uterm_ref(array, *subscripts)
+
+    @staticmethod
+    def ref(array: str, *subscripts) -> ArrayRef:
+        """An array reference usable as an assignment target."""
+
+        return ArrayRef(array, tuple(affine(s) for s in subscripts))
+
+    # Structure ----------------------------------------------------------
+    @contextmanager
+    def loop(
+        self,
+        variable: str,
+        lower,
+        upper,
+        *,
+        lowers: Sequence | None = None,
+        uppers: Sequence | None = None,
+        step: int = 1,
+    ) -> Iterator[AffineExpr]:
+        """Open a loop; yields the loop variable as an expression.
+
+        ``lowers``/``uppers`` override ``lower``/``upper`` for max/min
+        bounds: ``b.loop("i", None, None, lowers=[1, "n"], uppers=["m"])``.
+        """
+
+        low_list = [affine(b) for b in (lowers if lowers is not None else [lower])]
+        up_list = [affine(b) for b in (uppers if uppers is not None else [upper])]
+        body: list[Node] = []
+        node = Loop(variable, tuple(low_list), tuple(up_list), body, step)
+        self._stack[-1].append(node)
+        self._stack.append(body)
+        try:
+            yield var(variable)
+        finally:
+            self._stack.pop()
+
+    def assign(self, target: ArrayRef | None, rhs=0, label: str = "") -> Statement:
+        """Append an assignment statement."""
+
+        stmt = Statement(target, affine(rhs), label)
+        self._stack[-1].append(stmt)
+        return stmt
+
+    def write(self, array: str, *subscripts, rhs=0, label: str = "") -> Statement:
+        """Append a write-only statement ``array(subs) :=``."""
+
+        return self.assign(self.ref(array, *subscripts), rhs, label)
+
+    def read_stmt(self, array: str, *subscripts, label: str = "") -> Statement:
+        """Append a pure-read statement ``:= array(subs)``."""
+
+        return self.assign(None, self.read(array, *subscripts), label)
+
+    def build(self) -> Program:
+        if len(self._stack) != 1:
+            raise IRError("unclosed loop in builder")
+        return Program(self._root, self.name)

@@ -1,0 +1,298 @@
+"""A concrete interpreter for the mini language.
+
+The interpreter executes a program for given symbolic-constant values and
+records every array access in execution order.  From the trace we derive
+*ground-truth* dependences:
+
+* **memory-based flow** — every (write, later read of the same location)
+  pair: what conventional dependence analysis reports;
+* **value-based flow** — only (last write before the read, read) pairs:
+  the paper's five-criterion definition, i.e. what remains after array
+  kills.
+
+These oracles drive the differential tests: every value-based flow instance
+must be covered by a *live* analysed dependence with a matching distance
+vector, and a dependence the analysis declares *dead* must have no
+value-based instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from .affine import AffineExpr, UTerm
+from .ast import Access, ArrayRef, Declaration, IRError, Loop, Node, Program, Statement
+
+__all__ = [
+    "AccessEvent",
+    "Trace",
+    "Interpreter",
+    "run_program",
+    "value_based_flows",
+    "memory_based_flows",
+    "memory_based_pairs",
+    "FlowInstance",
+]
+
+Address = tuple[str, tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One dynamic array access."""
+
+    time: int
+    access: Access
+    iteration: tuple[int, ...]  # values of the enclosing loop variables
+    address: Address
+    is_write: bool
+
+
+@dataclass
+class Trace:
+    events: list[AccessEvent] = field(default_factory=list)
+
+    def writes(self) -> Iterable[AccessEvent]:
+        return (e for e in self.events if e.is_write)
+
+    def reads(self) -> Iterable[AccessEvent]:
+        return (e for e in self.events if not e.is_write)
+
+
+class Interpreter:
+    """Executes a program, producing a :class:`Trace`.
+
+    ``symbols`` gives values for the symbolic constants; ``initial`` is an
+    optional function from address to initial cell value (defaults to a
+    deterministic pseudo-random value, which only matters when a mutated
+    scalar feeds a subscript).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        symbols: Mapping[str, int],
+        initial: Callable[[Address], int] | None = None,
+    ):
+        self.program = program
+        self.symbols = dict(symbols)
+        missing = program.symbolic_constants - set(self.symbols)
+        if missing:
+            raise IRError(f"missing values for symbolic constants: {missing}")
+        self.memory: dict[Address, int] = {}
+        self.initial = initial or (lambda addr: (hash(addr) % 17) - 8)
+        self.trace = Trace()
+        self._time = 0
+        self._accesses_by_stmt: dict[int, list[Access]] = {}
+        for access in program.accesses():
+            self._accesses_by_stmt.setdefault(
+                id(access.statement), []
+            ).append(access)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        env: dict[str, int] = dict(self.symbols)
+        self._run_nodes(self.program.body, env, ())
+        return self.trace
+
+    def _run_nodes(
+        self, nodes: Sequence[Node], env: dict[str, int], iteration: tuple[int, ...]
+    ) -> None:
+        for node in nodes:
+            if isinstance(node, Declaration):
+                continue
+            if isinstance(node, Loop):
+                self._run_loop(node, env, iteration)
+            else:
+                self._run_statement(node, env, iteration)
+
+    def _run_loop(
+        self, loop: Loop, env: dict[str, int], iteration: tuple[int, ...]
+    ) -> None:
+        lower = max(self._eval(b, env) for b in loop.lowers)
+        upper = min(self._eval(b, env) for b in loop.uppers)
+        value = lower
+        while value <= upper:
+            env[loop.var] = value
+            self._run_nodes(loop.body, env, iteration + (value,))
+            value += loop.step
+        env.pop(loop.var, None)
+
+    def _run_statement(
+        self, stmt: Statement, env: dict[str, int], iteration: tuple[int, ...]
+    ) -> None:
+        accesses = self._accesses_by_stmt.get(id(stmt), [])
+        reads = [a for a in accesses if not a.is_write]
+        write = next((a for a in accesses if a.is_write), None)
+
+        # Evaluate the RHS value; this also records read events in slot
+        # order, matching the static reads() extraction.
+        read_addresses: dict[int, Address] = {}
+        for access in reads:
+            addr = self._address(access.ref, env)
+            read_addresses[access.slot] = addr
+            self._record(access, iteration, addr)
+        value = self._eval(stmt.rhs, env)
+
+        if write is not None:
+            addr = self._address(write.ref, env)
+            self._record(write, iteration, addr)
+            self.memory[addr] = value
+
+    def _record(
+        self, access: Access, iteration: tuple[int, ...], addr: Address
+    ) -> None:
+        self.trace.events.append(
+            AccessEvent(self._time, access, iteration, addr, access.is_write)
+        )
+        self._time += 1
+
+    # ------------------------------------------------------------------
+    def _address(self, ref: ArrayRef, env: Mapping[str, int]) -> Address:
+        return (ref.array, tuple(self._eval(s, env) for s in ref.subscripts))
+
+    def _load(self, addr: Address) -> int:
+        if addr not in self.memory:
+            self.memory[addr] = self.initial(addr)
+        return self.memory[addr]
+
+    def _eval(self, expr: AffineExpr, env: Mapping[str, int]) -> int:
+        total = expr.constant
+        for name, coeff in expr.coeffs.items():
+            if name not in env:
+                raise IRError(f"unbound name {name!r} during interpretation")
+            total += coeff * env[name]
+        for coeff, term in expr.uterms:
+            total += coeff * self._eval_uterm(term, env)
+        return total
+
+    def _eval_uterm(self, term: UTerm, env: Mapping[str, int]) -> int:
+        if term.kind == "array":
+            addr = (term.name, tuple(self._eval(a, env) for a in term.args))
+            return self._load(addr)
+        if term.kind == "scalar":
+            return self._load((term.name, ()))
+        if term.kind == "product":
+            result = 1
+            for arg in term.args:
+                result *= self._eval(arg, env)
+            return result
+        raise IRError(f"unknown uterm kind {term.kind}")  # pragma: no cover
+
+
+def run_program(
+    program: Program,
+    symbols: Mapping[str, int],
+    initial: Callable[[Address], int] | None = None,
+) -> Trace:
+    """Execute and return the access trace."""
+
+    return Interpreter(program, symbols, initial).run()
+
+
+@dataclass(frozen=True)
+class FlowInstance:
+    """One dynamic flow dependence: a write reaching a read."""
+
+    source: Access
+    destination: Access
+    #: Difference of loop-variable values over the loops common to both
+    #: statements (destination minus source), the paper's dependence
+    #: distance.
+    distance: tuple[int, ...]
+
+
+def _common_depth(a: Access, b: Access) -> int:
+    depth = 0
+    for la, lb in zip(a.statement.loops, b.statement.loops):
+        if la is lb:
+            depth += 1
+        else:
+            break
+    return depth
+
+
+def value_based_flows(trace: Trace) -> set[FlowInstance]:
+    """Flow instances under the paper's definition (last write wins)."""
+
+    last_write: dict[Address, AccessEvent] = {}
+    flows: set[FlowInstance] = set()
+    for event in trace.events:
+        if event.is_write:
+            last_write[event.address] = event
+        else:
+            writer = last_write.get(event.address)
+            if writer is None:
+                continue
+            depth = _common_depth(writer.access, event.access)
+            distance = tuple(
+                event.iteration[i] - writer.iteration[i] for i in range(depth)
+            )
+            flows.add(FlowInstance(writer.access, event.access, distance))
+    return flows
+
+
+def memory_based_flows(trace: Trace) -> set[FlowInstance]:
+    """Flow instances without the intervening-write criterion."""
+
+    writes_to: dict[Address, list[AccessEvent]] = {}
+    flows: set[FlowInstance] = set()
+    for event in trace.events:
+        if event.is_write:
+            writes_to.setdefault(event.address, []).append(event)
+        else:
+            for writer in writes_to.get(event.address, ()):
+                depth = _common_depth(writer.access, event.access)
+                distance = tuple(
+                    event.iteration[i] - writer.iteration[i] for i in range(depth)
+                )
+                flows.add(FlowInstance(writer.access, event.access, distance))
+    return flows
+
+
+def memory_based_pairs(trace: Trace) -> set[tuple[Access, Access]]:
+    """The (write access, read access) pairs with any memory-based flow."""
+
+    return {(f.source, f.destination) for f in memory_based_flows(trace)}
+
+
+def anti_dependence_instances(trace: Trace) -> set[FlowInstance]:
+    """Memory-based anti dependences: each read before a later overwrite.
+
+    Matches what the analysis computes for anti dependences (the paper's
+    implementation leaves anti dependences memory-based).
+    """
+
+    reads_of: dict[Address, list[AccessEvent]] = {}
+    found: set[FlowInstance] = set()
+    for event in trace.events:
+        if not event.is_write:
+            reads_of.setdefault(event.address, []).append(event)
+        else:
+            for reader in reads_of.get(event.address, ()):
+                depth = _common_depth(reader.access, event.access)
+                distance = tuple(
+                    event.iteration[i] - reader.iteration[i]
+                    for i in range(depth)
+                )
+                found.add(FlowInstance(reader.access, event.access, distance))
+    return found
+
+
+def output_dependence_instances(trace: Trace) -> set[FlowInstance]:
+    """Memory-based output dependences: every ordered same-cell write pair."""
+
+    writes_of: dict[Address, list[AccessEvent]] = {}
+    found: set[FlowInstance] = set()
+    for event in trace.events:
+        if not event.is_write:
+            continue
+        for earlier in writes_of.get(event.address, ()):
+            depth = _common_depth(earlier.access, event.access)
+            distance = tuple(
+                event.iteration[i] - earlier.iteration[i] for i in range(depth)
+            )
+            found.add(FlowInstance(earlier.access, event.access, distance))
+        writes_of.setdefault(event.address, []).append(event)
+    return found

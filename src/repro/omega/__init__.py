@@ -1,0 +1,108 @@
+"""The Omega test: exact integer programming for dependence analysis.
+
+This package implements Pugh's Omega test — integer programming based on an
+extension of Fourier-Motzkin variable elimination — together with the
+extensions introduced in the PLDI'92 paper: projection with splintering
+(real and dark shadows), gist computation, efficient implication tests, and
+a decision layer for the subclass of Presburger formulas that array
+dependence analysis requires.
+
+Quick example::
+
+    from repro.omega import Variable, Problem, is_satisfiable, project
+
+    a, b = Variable("a"), Variable("b")
+    p = Problem().add_bounds(0, a, 5).add_le(b + 1, a).add_le(a, 5 * b)
+    proj = project(p, [a])            # the paper's example: 2 <= a <= 5
+"""
+
+from .constraints import Constraint, NormalizeStatus, Problem, Relation, eq, ge, le
+from .eliminate import (
+    EqualityEliminationResult,
+    FMResult,
+    eliminate_equalities,
+    fourier_motzkin,
+    mod_hat,
+    substitute,
+)
+from .errors import NonlinearConstraintError, OmegaComplexityError, OmegaError
+from .gist import GistStats, gist, implies, implies_union
+from .presburger import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    satisfiable,
+    to_problems,
+    valid,
+)
+from .project import Projection, project, project_away
+from .redblack import combined_projection_gist, gist_of_projection
+from .simplify import find_witness, simplify
+from .solve import OmegaStats, collect_stats, is_satisfiable
+from .terms import LinearExpr, Variable, const, fresh_wildcard, term
+
+__all__ = [
+    # terms
+    "Variable",
+    "LinearExpr",
+    "term",
+    "const",
+    "fresh_wildcard",
+    # constraints
+    "Constraint",
+    "Relation",
+    "Problem",
+    "NormalizeStatus",
+    "ge",
+    "le",
+    "eq",
+    # elimination
+    "mod_hat",
+    "substitute",
+    "eliminate_equalities",
+    "EqualityEliminationResult",
+    "fourier_motzkin",
+    "FMResult",
+    # solving
+    "is_satisfiable",
+    "OmegaStats",
+    "collect_stats",
+    # projection
+    "project",
+    "project_away",
+    "Projection",
+    "simplify",
+    "find_witness",
+    # gist
+    "gist",
+    "implies",
+    "implies_union",
+    "gist_of_projection",
+    "combined_projection_gist",
+    "GistStats",
+    # Presburger formulas
+    "Formula",
+    "Atom",
+    "And",
+    "Or",
+    "Not",
+    "Implies",
+    "Exists",
+    "Forall",
+    "TRUE",
+    "FALSE",
+    "satisfiable",
+    "valid",
+    "to_problems",
+    # errors
+    "OmegaError",
+    "OmegaComplexityError",
+    "NonlinearConstraintError",
+]

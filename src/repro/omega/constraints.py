@@ -1,0 +1,378 @@
+"""Constraints and conjunctive constraint systems (``Problem``).
+
+A :class:`Problem` is the Omega test's unit of work: a conjunction of linear
+equalities (``expr = 0``) and inequalities (``expr >= 0``) over integer
+variables.  Everything else in the library — projections, gists, Presburger
+formulas, dependence problems — is built from Problems.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from math import gcd
+from typing import Iterable, Mapping
+
+from .errors import OmegaError
+from .terms import LinearExpr, Variable
+
+__all__ = ["Relation", "Constraint", "Problem", "NormalizeStatus", "ge", "le", "eq"]
+
+
+class Relation(enum.Enum):
+    """The relation of an affine expression against zero."""
+
+    EQ = "="
+    GE = ">="
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single linear constraint: ``expr = 0`` or ``expr >= 0``."""
+
+    expr: LinearExpr
+    relation: Relation
+
+    @property
+    def is_equality(self) -> bool:
+        return self.relation is Relation.EQ
+
+    def variables(self) -> frozenset[Variable]:
+        return self.expr.variables()
+
+    def coeff(self, var: Variable) -> int:
+        return self.expr.coeff(var)
+
+    def negated(self) -> "Constraint":
+        """Negate an inequality over the integers.
+
+        ``not (e >= 0)`` is ``e <= -1`` i.e. ``-e - 1 >= 0``.  Equalities do
+        not have a single-constraint negation (it is a disjunction); callers
+        that need it should split into the two inequalities first.
+        """
+
+        if self.is_equality:
+            raise OmegaError("negation of an equality is a disjunction")
+        return Constraint(-self.expr - 1, Relation.GE)
+
+    def as_inequalities(self) -> tuple["Constraint", ...]:
+        """An equality as the pair ``e >= 0 and -e >= 0``; a GE unchanged."""
+
+        if self.is_equality:
+            return (
+                Constraint(self.expr, Relation.GE),
+                Constraint(-self.expr, Relation.GE),
+            )
+        return (self,)
+
+    def substitute(self, var: Variable, replacement: LinearExpr) -> "Constraint":
+        return Constraint(self.expr.substitute(var, replacement), self.relation)
+
+    def is_satisfied_by(self, assignment: Mapping[Variable, int]) -> bool:
+        value = self.expr.evaluate(assignment)
+        return value == 0 if self.is_equality else value >= 0
+
+    def __str__(self) -> str:
+        return f"{self.expr} {self.relation.value} 0"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constraint({self})"
+
+
+def ge(expr: LinearExpr | Variable | int) -> Constraint:
+    """``expr >= 0``."""
+
+    return Constraint(LinearExpr._coerce(expr), Relation.GE)
+
+
+def le(lhs: LinearExpr | Variable | int, rhs: LinearExpr | Variable | int) -> Constraint:
+    """``lhs <= rhs``."""
+
+    return Constraint(LinearExpr._coerce(rhs) - LinearExpr._coerce(lhs), Relation.GE)
+
+
+def eq(lhs: LinearExpr | Variable | int, rhs: LinearExpr | Variable | int = 0) -> Constraint:
+    """``lhs = rhs``."""
+
+    return Constraint(LinearExpr._coerce(lhs) - LinearExpr._coerce(rhs), Relation.EQ)
+
+
+def negation_clauses(constraint: Constraint) -> list[list[Constraint]]:
+    """The integer negation of a constraint, as a union of conjunctions.
+
+    * ``not (e >= 0)`` is the single clause ``[-e - 1 >= 0]``.
+    * ``not (e = 0)`` is two clauses: ``[e - 1 >= 0]`` or ``[-e - 1 >= 0]``.
+    * A *stride* equality ``b*w + r = 0`` with lone wildcard ``w`` means
+      ``r == 0 (mod b)``; its negation is ``r == j (mod b)`` for
+      ``j = 1 .. b-1``, each rendered with a fresh wildcard:
+      ``b*w' + r - j = 0``.
+
+    Constraints containing wildcards in any other configuration cannot be
+    negated clause-wise (the wildcard scopes over the whole conjunction);
+    :class:`~repro.omega.errors.OmegaError` is raised for those.
+    """
+
+    from .errors import OmegaError
+    from .terms import fresh_wildcard
+
+    wilds = [v for v in constraint.variables() if v.is_wildcard]
+    if not wilds:
+        if constraint.is_equality:
+            lo, hi = constraint.as_inequalities()
+            return [[lo.negated()], [hi.negated()]]
+        return [[constraint.negated()]]
+    if (
+        constraint.is_equality
+        and len(wilds) == 1
+        and abs(constraint.coeff(wilds[0])) >= 2
+    ):
+        w = wilds[0]
+        b = abs(constraint.coeff(w))
+        clauses: list[list[Constraint]] = []
+        for j in range(1, b):
+            fresh = fresh_wildcard("neg")
+            shifted = constraint.expr.substitute(w, LinearExpr({fresh: 1})) - j
+            clauses.append([Constraint(shifted, Relation.EQ)])
+        return clauses
+    raise OmegaError(
+        f"cannot negate constraint with embedded wildcard: {constraint}"
+    )
+
+
+class NormalizeStatus(enum.Enum):
+    """Outcome of normalizing a problem."""
+
+    NORMALIZED = "normalized"
+    UNSATISFIABLE = "unsatisfiable"
+    TAUTOLOGY = "tautology"  # no constraints remain
+
+
+class Problem:
+    """A conjunction of linear constraints over integer variables.
+
+    Problems are lightweight mutable containers; the elimination algorithms
+    copy them freely.  An empty Problem is the constraint ``True``.
+    """
+
+    __slots__ = ("constraints", "name")
+
+    def __init__(self, constraints: Iterable[Constraint] = (), name: str = ""):
+        self.constraints: list[Constraint] = list(constraints)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "Problem":
+        return Problem(self.constraints, self.name)
+
+    def add(self, constraint: Constraint) -> "Problem":
+        self.constraints.append(constraint)
+        return self
+
+    def add_ge(self, expr: LinearExpr | Variable | int) -> "Problem":
+        return self.add(ge(expr))
+
+    def add_le(self, lhs, rhs) -> "Problem":
+        return self.add(le(lhs, rhs))
+
+    def add_eq(self, lhs, rhs=0) -> "Problem":
+        return self.add(eq(lhs, rhs))
+
+    def add_bounds(self, lo, expr, hi) -> "Problem":
+        """``lo <= expr <= hi``."""
+
+        self.add_le(lo, expr)
+        self.add_le(expr, hi)
+        return self
+
+    def conjoin(self, *others: "Problem") -> "Problem":
+        """A new Problem that is the conjunction of this one and ``others``."""
+
+        merged = self.copy()
+        for other in others:
+            merged.constraints.extend(other.constraints)
+        return merged
+
+    def extend(self, constraints: Iterable[Constraint]) -> "Problem":
+        self.constraints.extend(constraints)
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def variables(self) -> frozenset[Variable]:
+        result: set[Variable] = set()
+        for constraint in self.constraints:
+            result.update(constraint.variables())
+        return frozenset(result)
+
+    def equalities(self) -> list[Constraint]:
+        return [c for c in self.constraints if c.is_equality]
+
+    def inequalities(self) -> list[Constraint]:
+        return [c for c in self.constraints if not c.is_equality]
+
+    def is_trivially_true(self) -> bool:
+        return not self.constraints
+
+    def bounds_on(self, var: Variable) -> tuple[list[Constraint], list[Constraint]]:
+        """Constraints acting as (lower bounds, upper bounds) on ``var``.
+
+        A constraint with positive coefficient on ``var`` bounds it from
+        below; negative, from above.  Equalities are not included.
+        """
+
+        lowers: list[Constraint] = []
+        uppers: list[Constraint] = []
+        for constraint in self.constraints:
+            if constraint.is_equality:
+                continue
+            coeff = constraint.coeff(var)
+            if coeff > 0:
+                lowers.append(constraint)
+            elif coeff < 0:
+                uppers.append(constraint)
+        return lowers, uppers
+
+    def is_satisfied_by(self, assignment: Mapping[Variable, int]) -> bool:
+        return all(c.is_satisfied_by(assignment) for c in self.constraints)
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+    def normalized(self) -> tuple["Problem", NormalizeStatus]:
+        """Return an equivalent normalized problem and a status.
+
+        Normalization performs, per the original Omega test description:
+
+        * constant-constraint evaluation (``0 >= -3`` drops, ``0 >= 3`` is
+          unsatisfiable),
+        * GCD reduction of every constraint — an equality whose constant is
+          not divisible by the coefficient gcd is unsatisfiable; an
+          inequality's constant is tightened by floor division,
+        * canonical signs for equalities (first coefficient positive),
+        * de-duplication: identical inequality normals keep only the
+          tightest constant; a matched pair of opposite inequalities
+          becomes an equality; conflicting bounds or equalities are
+          detected as unsatisfiable.
+        """
+
+        ineqs: dict[tuple, int] = {}  # normal key -> tightest constant
+        ineq_exprs: dict[tuple, LinearExpr] = {}
+        eqs: dict[tuple, int] = {}
+        eq_exprs: dict[tuple, LinearExpr] = {}
+
+        for constraint in self.constraints:
+            expr = constraint.expr
+            g = expr.coefficients_gcd()
+            if g == 0:  # constant constraint
+                if constraint.is_equality:
+                    if expr.constant != 0:
+                        return Problem(name=self.name), NormalizeStatus.UNSATISFIABLE
+                else:
+                    if expr.constant < 0:
+                        return Problem(name=self.name), NormalizeStatus.UNSATISFIABLE
+                continue
+            if constraint.is_equality:
+                if expr.constant % g:
+                    return Problem(name=self.name), NormalizeStatus.UNSATISFIABLE
+                reduced = expr.exact_div(g)
+                # Canonical sign: make the lexicographically-first term positive.
+                first = min(reduced.terms.items(), key=lambda it: (it[0].kind, it[0].name))
+                if first[1] < 0:
+                    reduced = -reduced
+                key = reduced.key()
+                if key in eqs:
+                    if eqs[key] != reduced.constant:
+                        return Problem(name=self.name), NormalizeStatus.UNSATISFIABLE
+                else:
+                    eqs[key] = reduced.constant
+                    eq_exprs[key] = reduced
+            else:
+                if g > 1:
+                    reduced = expr.scale_and_floor(g)
+                else:
+                    reduced = expr
+                key = reduced.key()
+                if key in ineqs:
+                    # Same normal: a smaller constant is a tighter constraint.
+                    if reduced.constant < ineqs[key]:
+                        ineqs[key] = reduced.constant
+                        ineq_exprs[key] = reduced
+                else:
+                    ineqs[key] = reduced.constant
+                    ineq_exprs[key] = reduced
+
+        # Check opposite inequality pairs: a.x + c1 >= 0 and -a.x + c2 >= 0
+        # mean -c1 <= a.x <= c2, inconsistent when -c1 > c2, an equality when
+        # -c1 == c2.
+        result = Problem(name=self.name)
+        consumed: set[tuple] = set()
+        for key, constant in ineqs.items():
+            if key in consumed:
+                continue
+            expr = ineq_exprs[key]
+            neg_key = (-expr).key()
+            if neg_key in ineqs and neg_key not in consumed:
+                other_constant = ineqs[neg_key]
+                if -constant > other_constant:
+                    return Problem(name=self.name), NormalizeStatus.UNSATISFIABLE
+                if -constant == other_constant:
+                    consumed.add(key)
+                    consumed.add(neg_key)
+                    # a.x = -c1 as an equality with canonical sign.
+                    eq_expr = expr
+                    first = min(
+                        eq_expr.terms.items(), key=lambda it: (it[0].kind, it[0].name)
+                    )
+                    if first[1] < 0:
+                        eq_expr = -eq_expr
+                    ekey = eq_expr.key()
+                    if ekey in eqs and eqs[ekey] != eq_expr.constant:
+                        return Problem(name=self.name), NormalizeStatus.UNSATISFIABLE
+                    eqs[ekey] = eq_expr.constant
+                    eq_exprs[ekey] = eq_expr
+
+        for key, expr in eq_exprs.items():
+            result.add(Constraint(expr, Relation.EQ))
+        for key, expr in ineq_exprs.items():
+            if key in consumed:
+                continue
+            # An inequality implied by an equality with the same normal drops.
+            # The equality a.x + k = 0 says a.x = -k; the inequality
+            # a.x + c >= 0 says a.x >= -c, implied when k <= c.
+            if key in eqs:
+                if eqs[key] > expr.constant:
+                    return Problem(name=self.name), NormalizeStatus.UNSATISFIABLE
+                continue
+            neg_key = (-expr).key()
+            if neg_key in eqs:
+                # equality: -a.x + k = 0 => a.x = k; inequality a.x >= -c
+                # holds iff k >= -c i.e. k + c >= 0.
+                if eqs[neg_key] + expr.constant < 0:
+                    return Problem(name=self.name), NormalizeStatus.UNSATISFIABLE
+                continue
+            result.add(Constraint(expr, Relation.GE))
+
+        if not result.constraints:
+            return result, NormalizeStatus.TAUTOLOGY
+        return result, NormalizeStatus.NORMALIZED
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __str__(self) -> str:
+        if not self.constraints:
+            return "TRUE"
+        return " and ".join(str(c) for c in self.constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Problem{label}: {self}>"

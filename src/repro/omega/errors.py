@@ -1,0 +1,27 @@
+"""Exceptions raised by the Omega constraint engine."""
+
+from __future__ import annotations
+
+
+class OmegaError(Exception):
+    """Base class for all errors raised by :mod:`repro.omega`."""
+
+
+class OmegaComplexityError(OmegaError):
+    """Raised when a computation exceeds its configured complexity budget.
+
+    The Omega test is worst-case exponential; the paper notes the expensive
+    paths are "almost never needed in practice".  When a budget (splinter
+    count, DNF size, substitution depth) is exhausted we raise this error
+    rather than looping forever, so callers can fall back to a conservative
+    answer.
+    """
+
+
+class NonlinearConstraintError(OmegaError):
+    """Raised when a constraint that is not affine reaches the core engine.
+
+    Non-linear terms must be abstracted into symbolic variables by the
+    symbolic-analysis layer (see :mod:`repro.analysis.ufuncs`) before the
+    integer programming core ever sees them.
+    """

@@ -1,0 +1,339 @@
+"""Gists and implication tests (Section 3.3 of the paper).
+
+``gist p given q`` is "the new information contained in p, given that we
+already know q": a conjunction of a minimal subset of p's constraints such
+that ``(gist p given q) and q  ==  p and q``.  In particular::
+
+    gist p given q == True    iff    q implies p
+
+The naive algorithm needs one satisfiability test per constraint of p; the
+paper lists four fast checks that usually decide most constraints without
+consulting the Omega test.  We implement all four, then fall back to the
+naive recursion, with the short-circuit the paper describes for tautology
+testing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from .constraints import Constraint, Problem, Relation
+from .errors import OmegaComplexityError
+from .project import Projection, project
+from .solve import is_satisfiable
+from .terms import LinearExpr, Variable
+
+__all__ = [
+    "gist",
+    "implies",
+    "implies_problem",
+    "implies_union",
+    "GistStats",
+]
+
+
+@dataclass
+class GistStats:
+    """Breakdown of how constraints of p were decided."""
+
+    dropped_single: int = 0
+    kept_unmatched_bound: int = 0
+    kept_no_positive_pair: int = 0
+    dropped_pairwise: int = 0
+    naive_tests: int = 0
+
+
+def _implied_by_single(e: Constraint, other: Constraint) -> bool:
+    """Fast check 1: is constraint ``e`` implied by the single ``other``?
+
+    For inequalities ``e: a.x + c >= 0``:
+
+    * another inequality with the same normal and a constant ``c' <= c``
+      implies it;
+    * an equality ``a.x + k = 0`` (so ``a.x = -k``) implies it iff
+      ``k <= c``;
+    * an equality ``-a.x + k = 0`` (so ``a.x = k``) implies it iff
+      ``k + c >= 0``.
+
+    Equalities are implied only by an identical equality.
+    """
+
+    if e.is_equality:
+        return other.is_equality and (
+            other.expr == e.expr or other.expr == -e.expr
+        )
+    key = e.expr.key()
+    c = e.expr.constant
+    if other.is_equality:
+        if other.expr.key() == key:
+            return other.expr.constant <= c
+        if (-other.expr).key() == key:
+            return (-other.expr).constant <= c
+        return False
+    if other.expr.key() == key:
+        return other.expr.constant <= c
+    return False
+
+
+def _implied_by_pair(e: Constraint, c1: Constraint, c2: Constraint) -> bool:
+    """Fast check 4: is ``e`` implied by the conjunction of two constraints?
+
+    Decided exactly with a tiny satisfiability test on three constraints:
+    ``c1 and c2 and not e``.
+    """
+
+    if e.is_equality:
+        return False
+    tiny = Problem([c1, c2, e.negated()])
+    return not is_satisfiable(tiny)
+
+
+def gist(
+    p: Problem,
+    q: Problem,
+    *,
+    stats: GistStats | None = None,
+    stop_if_not_true: bool = False,
+    use_fast_checks: bool = True,
+) -> Problem:
+    """Compute ``gist p given q``.
+
+    Equalities in p are first converted into matched inequality pairs, as
+    the paper prescribes.  When ``stop_if_not_true`` is set the computation
+    short-circuits as soon as some constraint of p is known to survive (used
+    by the implication test, which only cares whether the gist is ``True``).
+
+    If q itself is unsatisfiable the gist is ``True`` (anything is implied).
+    """
+
+    from .constraints import NormalizeStatus
+
+    stats = stats if stats is not None else GistStats()
+
+    p_norm, p_status = p.normalized()
+    if p_status is NormalizeStatus.UNSATISFIABLE:
+        false = Problem(name=f"gist {p.name}")
+        false.add_ge(-1)
+        return false
+    p_constraints: list[Constraint] = []
+    for constraint in p_norm.constraints:
+        if constraint.is_equality and any(
+            v.is_wildcard for v in constraint.variables()
+        ):
+            # Stride equalities stay whole: their wildcard scopes over the
+            # conjunction, so the matched-inequality-pair expansion would
+            # change the meaning.
+            p_constraints.append(constraint)
+        else:
+            p_constraints.extend(constraint.as_inequalities())
+
+    q_norm, q_status = q.normalized()
+    if q_status is NormalizeStatus.UNSATISFIABLE:
+        return Problem(name=f"gist {p.name}")  # q implies anything
+    q_constraints = list(q_norm.constraints)
+
+    # ``working`` is the live remainder of p; every drop below is justified
+    # against the *current* working set plus q, which keeps sequential
+    # redundancy removal sound (two mutually-redundant constraints cannot
+    # both disappear).
+    working: list[Constraint] = list(p_constraints)
+    definite: list[Constraint] = []  # constraints known to be in the gist
+
+    if not use_fast_checks:
+        # Ablation path: pure naive algorithm.
+        result = []
+        context_q = list(q_constraints)
+        pending = list(working)
+        while pending:
+            e = pending.pop(0)
+            stats.naive_tests += 1
+            if _negation_satisfiable(e, pending + context_q):
+                result.append(e)
+                if stop_if_not_true:
+                    return Problem(result, name=f"gist {p.name}")
+                context_q.append(e)
+        gist_problem = Problem(result, name=f"gist {p.name}")
+        normalized, _ = gist_problem.normalized()
+        normalized.name = gist_problem.name
+        return normalized
+
+    # --- Fast check 1: drop constraints implied by a single constraint. ---
+    for e in list(working):
+        context = [c for c in working if c is not e] + q_constraints
+        if any(_implied_by_single(e, other) for other in context):
+            stats.dropped_single += 1
+            working.remove(e)
+
+    if not working:
+        return Problem(name=f"gist {p.name}")
+
+    # --- Fast check 2: a variable with an upper (lower) bound in p but not
+    # in q must contribute at least one such bound to the gist; when p has
+    # exactly one, it is definitely in.  Fast check 3: a constraint with no
+    # positively-correlated companion anywhere must be in the gist. ---
+    def bound_vars(constraints: list[Constraint], sign: int) -> set[Variable]:
+        found: set[Variable] = set()
+        for c in constraints:
+            for v, coeff in c.expr.terms.items():
+                if c.is_equality or coeff * sign > 0:
+                    found.add(v)
+        return found
+
+    q_uppers = bound_vars(q_constraints, -1)
+    q_lowers = bound_vars(q_constraints, +1)
+
+    for e in working:
+        keep = False
+        if any(v.is_wildcard for v in e.expr.terms):
+            # Stride equalities quantify their wildcard existentially; the
+            # "unmatched bound" and "no positive companion" arguments do
+            # not apply.  Decide them with the exact naive test below.
+            continue
+        for v, coeff in e.expr.terms.items():
+            if coeff < 0 and v not in q_uppers:
+                if not any(
+                    c is not e and c.expr.coeff(v) < 0 for c in working
+                ):
+                    keep = True
+                    stats.kept_unmatched_bound += 1
+                    break
+            if coeff > 0 and v not in q_lowers:
+                if not any(
+                    c is not e and c.expr.coeff(v) > 0 for c in working
+                ):
+                    keep = True
+                    stats.kept_unmatched_bound += 1
+                    break
+        if not keep:
+            companions = [c for c in working if c is not e] + q_constraints
+            if not any(_positive_inner_product(e, other) for other in companions):
+                keep = True
+                stats.kept_no_positive_pair += 1
+        if keep:
+            definite.append(e)
+            if stop_if_not_true:
+                return Problem(definite, name=f"gist {p.name}")
+
+    undecided = [e for e in working if e not in definite]
+
+    # --- Fast check 4: implication by a pair of constraints, tested with a
+    # three-constraint satisfiability problem. ---
+    for e in list(undecided):
+        context = (
+            [c for c in undecided if c is not e] + definite + q_constraints
+        )
+        for c1, c2 in itertools.combinations(context, 2):
+            if _shares_variable(e, c1) or _shares_variable(e, c2):
+                if _implied_by_pair(e, c1, c2):
+                    stats.dropped_pairwise += 1
+                    undecided.remove(e)
+                    break
+
+    # --- Naive algorithm on whatever is left. ---
+    result = list(definite)
+    context_q = q_constraints + definite
+    pending = list(undecided)
+    while pending:
+        e = pending.pop(0)
+        stats.naive_tests += 1
+        if _negation_satisfiable(e, pending + context_q):
+            result.append(e)
+            if stop_if_not_true:
+                return Problem(result, name=f"gist {p.name}")
+            context_q.append(e)
+        # otherwise e is redundant given the remainder: drop it.
+
+    gist_problem = Problem(result, name=f"gist {p.name}")
+    normalized, _ = gist_problem.normalized()
+    normalized.name = gist_problem.name
+    return normalized
+
+
+def _negation_satisfiable(e: Constraint, context: list[Constraint]) -> bool:
+    """Is ``not(e) and context`` satisfiable (integer negation of e)?"""
+
+    from .constraints import negation_clauses
+
+    for clause in negation_clauses(e):
+        if is_satisfiable(Problem(clause + context)):
+            return True
+    return False
+
+
+def _positive_inner_product(e: Constraint, other: Constraint) -> bool:
+    total = 0
+    for v, coeff in e.expr.terms.items():
+        total += coeff * other.expr.coeff(v)
+    return total > 0
+
+
+def _shares_variable(e: Constraint, other: Constraint) -> bool:
+    return any(v in other.expr.terms for v in e.expr.terms)
+
+
+def implies(q: Problem, p: Problem) -> bool:
+    """True iff ``q implies p`` is a tautology (over the integers).
+
+    Implemented as the paper does: ``q => p  iff  gist p given q == True``,
+    with the gist computation short-circuited.  An unsatisfiable ``q``
+    implies anything.
+    """
+
+    if not is_satisfiable(q):
+        return True
+    return gist(p, q, stop_if_not_true=True).is_trivially_true()
+
+
+# Backwards-friendly alias used by the analysis layer.
+implies_problem = implies
+
+
+def implies_union(
+    p: Problem,
+    pieces: list[Problem],
+    *,
+    max_cubes: int = 4096,
+) -> bool:
+    """Exactly decide ``p  =>  (pieces[0] OR pieces[1] OR ...)``.
+
+    Needed when the right-hand side of an implication is a projection that
+    splintered.  We check that ``p AND not(S0) AND not(S1) ...`` has no
+    integer solutions, expanding the negations into DNF cubes with eager
+    unsatisfiability pruning.
+
+    Raises :class:`OmegaComplexityError` when the cube budget is exceeded;
+    callers should then fall back to the sound single-piece check
+    ``implies(p, pieces[0])``.
+    """
+
+    if not pieces:
+        return not is_satisfiable(p)
+    if not is_satisfiable(p):
+        return True
+    # Fast path: a single conjunction on the right.
+    if len(pieces) == 1:
+        return implies(p, pieces[0])
+
+    from .constraints import negation_clauses
+
+    cubes: list[list[Constraint]] = [[]]
+    for piece in pieces:
+        negation_literals: list[list[Constraint]] = []
+        for constraint in piece.constraints:
+            negation_literals.extend(negation_clauses(constraint))
+        new_cubes: list[list[Constraint]] = []
+        for cube in cubes:
+            for literal in negation_literals:
+                candidate = cube + literal
+                trial = Problem(candidate + list(p.constraints))
+                if is_satisfiable(trial):
+                    new_cubes.append(candidate)
+                if len(new_cubes) > max_cubes:
+                    raise OmegaComplexityError("implication cube budget exceeded")
+        if not new_cubes:
+            return True
+        cubes = new_cubes
+    # Some cube consistent with p survived every negation: p does not imply
+    # the union.
+    return False

@@ -1,0 +1,235 @@
+"""Projection: the basic operation the paper builds everything on.
+
+Given a problem ``S`` over variables ``V`` and a subset ``keep``,
+``project(S, keep)`` computes constraints over ``keep`` with the same integer
+solutions for ``keep`` as ``S``.  Because the Omega test works over the
+integers, the result is in general a *union*::
+
+    pi_keep(S) = S0 UNION S1 UNION ... UNION Sp   (subset of T)
+
+where ``S0`` is the Dark Shadow and ``T`` the Real Shadow.  In practice
+projection "rarely splinters and when it does, S0 contains almost all of the
+points" — the :class:`Projection` result exposes exactly this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .constraints import NormalizeStatus, Problem
+from .eliminate import choose_variable, eliminate_equalities, fourier_motzkin
+from .errors import OmegaComplexityError
+from .solve import is_satisfiable
+from .terms import Variable
+
+__all__ = ["Projection", "project", "project_away"]
+
+_MAX_PIECES = 256
+_MAX_DEPTH = 200
+
+
+@dataclass
+class Projection:
+    """Result of projecting a problem onto a subset of its variables.
+
+    ``pieces`` is a list of conjunctions whose union is exactly the integer
+    projection (when ``exact_union`` is True).  ``pieces[0]``, when the
+    projection splintered, plays the role of the paper's Dark Shadow S0 —
+    unsatisfiable pieces are pruned, so the list may be empty (projection of
+    an unsatisfiable problem).  ``real`` is the single-conjunction Real
+    Shadow, an over-approximation.
+    """
+
+    kept: frozenset[Variable]
+    pieces: list[Problem]
+    real: Problem
+    exact_union: bool = True
+    splintered: bool = False
+
+    @property
+    def dark(self) -> Problem:
+        """The dark shadow S0 (an unsatisfiable problem if no pieces)."""
+
+        if self.pieces:
+            return self.pieces[0]
+        unsat = Problem(name="FALSE")
+        unsat.add_ge(-1)
+        return unsat
+
+    def is_empty(self) -> bool:
+        """True iff the projection certainly has no integer points.
+
+        Only meaningful when ``exact_union`` is True; pieces are pruned for
+        satisfiability during construction.
+        """
+
+        return not self.pieces
+
+    def __str__(self) -> str:
+        body = " OR ".join(f"({p})" for p in self.pieces) or "FALSE"
+        return body
+
+
+def project(problem: Problem, keep: Iterable[Variable]) -> Projection:
+    """Project ``problem`` onto the variables in ``keep``.
+
+    Variables in ``keep`` that do not occur in the problem are harmless.
+    All other variables (including any wildcards created along the way) are
+    eliminated.
+    """
+
+    kept = frozenset(keep)
+    pieces: list[Problem] = []
+    exact = True
+    try:
+        _project_pieces(problem, kept, pieces, 0)
+    except OmegaComplexityError:
+        # Give up on exactness: fall back to the dark-shadow-only track,
+        # which is still a sound under-approximation.
+        pieces = []
+        _project_dark_only(problem, kept, pieces)
+        exact = False
+    real = _project_real(problem, kept)
+    splintered = len(pieces) > 1 or not exact
+    return Projection(kept, pieces, real, exact_union=exact, splintered=splintered)
+
+
+def project_away(problem: Problem, eliminate: Iterable[Variable]) -> Projection:
+    """Project ``problem`` onto everything *except* ``eliminate``.
+
+    This is the paper's ``pi_{not x}(S)`` notation, i.e. handling an
+    embedded existential quantifier over ``eliminate``.
+    """
+
+    drop = frozenset(eliminate)
+    keep = frozenset(
+        v for v in problem.variables() if v not in drop and not v.is_wildcard
+    )
+    return project(problem, keep)
+
+
+def _eliminable(problem: Problem, kept: frozenset[Variable]) -> frozenset[Variable]:
+    """Variables that still need (and can take) Fourier-Motzkin elimination.
+
+    After equality elimination with ``kept`` protected, the only wildcards
+    left inside equalities are stride-locked (they exactly encode a
+    divisibility constraint on kept variables) and must stay; wildcards
+    occurring solely in inequalities are ordinary FM candidates.
+    """
+
+    locked: set[Variable] = set()
+    for constraint in problem.constraints:
+        if constraint.is_equality:
+            locked.update(v for v in constraint.variables() if v.is_wildcard)
+    return frozenset(
+        v for v in problem.variables() if v not in kept and v not in locked
+    )
+
+
+def _project_pieces(
+    problem: Problem,
+    kept: frozenset[Variable],
+    out: list[Problem],
+    depth: int,
+) -> None:
+    """Append the exact union decomposition of the projection to ``out``."""
+
+    if depth > _MAX_DEPTH:
+        raise OmegaComplexityError("projection recursion too deep")
+
+    outcome = eliminate_equalities(problem, protected=kept)
+    if not outcome.satisfiable:
+        return
+    current = outcome.problem
+
+    while True:
+        candidates = _eliminable(current, kept)
+        if not candidates:
+            normalized, status = current.normalized()
+            if status is not NormalizeStatus.UNSATISFIABLE and is_satisfiable(
+                normalized
+            ):
+                if len(out) >= _MAX_PIECES:
+                    raise OmegaComplexityError("projection piece budget exceeded")
+                out.append(normalized)
+            return
+        var, _ = choose_variable(current, candidates)
+        assert var is not None
+        fm = fourier_motzkin(current, var)
+        if fm.exact:
+            current, status = fm.real.normalized()
+            if status is NormalizeStatus.UNSATISFIABLE:
+                return
+            outcome = eliminate_equalities(current, protected=kept)
+            if not outcome.satisfiable:
+                return
+            current = outcome.problem
+            continue
+        # pi_var(current) = dark UNION pieces-of-splinters, exactly.
+        _project_pieces(fm.dark, kept, out, depth + 1)
+        for splinter in fm.splinters:
+            _project_pieces(splinter, kept, out, depth + 1)
+        return
+
+
+def _project_dark_only(
+    problem: Problem, kept: frozenset[Variable], out: list[Problem]
+) -> None:
+    """Fallback: a single dark-track piece (sound under-approximation)."""
+
+    outcome = eliminate_equalities(problem, protected=kept)
+    if not outcome.satisfiable:
+        return
+    current = outcome.problem
+    while True:
+        candidates = _eliminable(current, kept)
+        if not candidates:
+            normalized, status = current.normalized()
+            if status is not NormalizeStatus.UNSATISFIABLE:
+                out.append(normalized)
+            return
+        var, _ = choose_variable(current, candidates)
+        assert var is not None
+        fm = fourier_motzkin(current, var, want_splinters=False)
+        current, status = fm.dark.normalized()
+        if status is NormalizeStatus.UNSATISFIABLE:
+            return
+        outcome = eliminate_equalities(current, protected=kept)
+        if not outcome.satisfiable:
+            return
+        current = outcome.problem
+
+
+def _project_real(problem: Problem, kept: frozenset[Variable]) -> Problem:
+    """The Real Shadow T: eliminate everything via real shadows only."""
+
+    outcome = eliminate_equalities(problem, protected=kept)
+    if not outcome.satisfiable:
+        unsat = Problem(name="FALSE")
+        unsat.add_ge(-1)
+        return unsat
+    current = outcome.problem
+    while True:
+        candidates = _eliminable(current, kept)
+        if not candidates:
+            normalized, status = current.normalized()
+            if status is NormalizeStatus.UNSATISFIABLE:
+                unsat = Problem(name="FALSE")
+                unsat.add_ge(-1)
+                return unsat
+            return normalized
+        var, _ = choose_variable(current, candidates)
+        assert var is not None
+        fm = fourier_motzkin(current, var, want_splinters=False)
+        current, status = fm.real.normalized()
+        if status is NormalizeStatus.UNSATISFIABLE:
+            unsat = Problem(name="FALSE")
+            unsat.add_ge(-1)
+            return unsat
+        outcome = eliminate_equalities(current, protected=kept)
+        if not outcome.satisfiable:
+            unsat = Problem(name="FALSE")
+            unsat.add_ge(-1)
+            return unsat
+        current = outcome.problem

@@ -1,0 +1,171 @@
+"""Integer satisfiability via the Omega test.
+
+``is_satisfiable`` decides whether a conjunction of linear constraints has an
+integer solution.  The strategy follows the paper: eliminate variables one at
+a time, tracking when Fourier-Motzkin is exact; when it is not, "we first
+check if S0 != empty or T = empty.  Only if both tests fail are we required
+to examine S1, S2, ..., Sp" — i.e. try the dark shadow, rule out via the
+real shadow, and fall back to splinters.
+
+The module keeps lightweight statistics (:class:`OmegaStats`) so the
+experiment harness can report how often the expensive machinery fires, which
+is what Figure 6 of the paper measures.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .constraints import NormalizeStatus, Problem
+from .eliminate import choose_variable, eliminate_equalities, fourier_motzkin
+from .errors import OmegaComplexityError
+
+__all__ = ["is_satisfiable", "OmegaStats", "collect_stats", "current_stats"]
+
+_MAX_DEPTH = 200
+
+
+@dataclass
+class OmegaStats:
+    """Counters describing the work done by the solver."""
+
+    satisfiability_tests: int = 0
+    eliminations: int = 0
+    inexact_eliminations: int = 0
+    splinters_examined: int = 0
+    dark_shadow_hits: int = 0
+    real_shadow_refutations: int = 0
+
+    def merge(self, other: "OmegaStats") -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+class _StatsStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[OmegaStats] = []
+
+
+_stats_stack = _StatsStack()
+
+
+@contextmanager
+def collect_stats():
+    """Context manager collecting solver statistics for the enclosed calls.
+
+    >>> with collect_stats() as stats:
+    ...     is_satisfiable(some_problem)
+    >>> stats.satisfiability_tests
+    1
+    """
+
+    stats = OmegaStats()
+    _stats_stack.stack.append(stats)
+    try:
+        yield stats
+    finally:
+        _stats_stack.stack.pop()
+
+
+def current_stats() -> OmegaStats | None:
+    """The innermost active stats collector, or None outside any."""
+
+    return _stats_stack.stack[-1] if _stats_stack.stack else None
+
+
+def _bump(attr: str, amount: int = 1) -> None:
+    for stats in _stats_stack.stack:
+        setattr(stats, attr, getattr(stats, attr) + amount)
+
+
+def is_satisfiable(problem: Problem) -> bool:
+    """True iff the conjunction has at least one integer solution."""
+
+    _bump("satisfiability_tests")
+    return _sat(problem, 0)
+
+
+def _sat(problem: Problem, depth: int) -> bool:
+    if depth > _MAX_DEPTH:
+        raise OmegaComplexityError("satisfiability recursion too deep")
+
+    outcome = eliminate_equalities(problem)
+    if not outcome.satisfiable:
+        return False
+    current = outcome.problem
+
+    while True:
+        variables = current.variables()
+        if not variables:
+            # Normalization inside eliminate_equalities already decided
+            # constant constraints; anything left means satisfiable.
+            return True
+        var, _exact_hint = choose_variable(current, variables)
+        assert var is not None
+        _bump("eliminations")
+        fm = fourier_motzkin(current, var)
+        if fm.exact:
+            current, status = fm.real.normalized()
+            if status is NormalizeStatus.UNSATISFIABLE:
+                return False
+            if status is NormalizeStatus.TAUTOLOGY:
+                return True
+            # Exact elimination cannot introduce equalities by itself, but
+            # normalization may discover a matched inequality pair.
+            outcome = eliminate_equalities(current)
+            if not outcome.satisfiable:
+                return False
+            current = outcome.problem
+            if current.is_trivially_true():
+                return True
+            continue
+
+        _bump("inexact_eliminations")
+        if _sat(fm.dark, depth + 1):
+            _bump("dark_shadow_hits")
+            return True
+        if not _sat_real_track(fm.real, depth + 1):
+            _bump("real_shadow_refutations")
+            return False
+        for splinter in fm.splinters:
+            _bump("splinters_examined")
+            if _sat(splinter, depth + 1):
+                return True
+        return False
+
+
+def _sat_real_track(problem: Problem, depth: int) -> bool:
+    """Over-approximate satisfiability using only real shadows.
+
+    Returns False only when the problem certainly has no integer solutions
+    (it does not even have the real-relaxation witnesses the Omega test
+    tracks).  Used for the "T = empty" early refutation.
+    """
+
+    if depth > _MAX_DEPTH:
+        raise OmegaComplexityError("real-shadow recursion too deep")
+
+    outcome = eliminate_equalities(problem)
+    if not outcome.satisfiable:
+        return False
+    current = outcome.problem
+    while True:
+        variables = current.variables()
+        if not variables:
+            return True
+        var, _ = choose_variable(current, variables)
+        assert var is not None
+        fm = fourier_motzkin(current, var, want_splinters=False)
+        current, status = fm.real.normalized()
+        if status is NormalizeStatus.UNSATISFIABLE:
+            return False
+        if status is NormalizeStatus.TAUTOLOGY:
+            return True
+        outcome = eliminate_equalities(current)
+        if not outcome.satisfiable:
+            return False
+        current = outcome.problem
+        if current.is_trivially_true():
+            return True

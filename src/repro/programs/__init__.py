@@ -1,0 +1,37 @@
+"""Benchmark programs: CHOLSKY, the paper's examples, and a corpus."""
+
+from .cholsky import cholsky
+from .corpus import CORPUS, corpus_programs, timing_corpus
+from .paper_examples import (
+    PAPER_EXAMPLES,
+    example1,
+    example2,
+    example3,
+    example4,
+    example5,
+    example6,
+    example7,
+    example8,
+    example9,
+    example10,
+    example11,
+)
+
+__all__ = [
+    "cholsky",
+    "CORPUS",
+    "corpus_programs",
+    "timing_corpus",
+    "PAPER_EXAMPLES",
+    "example1",
+    "example2",
+    "example3",
+    "example4",
+    "example5",
+    "example6",
+    "example7",
+    "example8",
+    "example9",
+    "example10",
+    "example11",
+]

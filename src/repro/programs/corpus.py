@@ -1,0 +1,547 @@
+"""A corpus of loop kernels in the spirit of the *tiny* distribution.
+
+The paper ran its timing study (Figures 6 and 7) over CHOLSKY, "all the
+tiny source files distributed with tiny (which include Cholesky
+decomposition, LU decomposition, several versions of wavefront algorithms,
+and several more contrived examples), as well as several of our own test
+programs" — 417 write/read pairs in total.  This module provides an
+equivalent corpus: classic kernels plus contrived stressers, each a parsed
+:class:`~repro.ir.ast.Program`.
+"""
+
+from __future__ import annotations
+
+from ..ir.ast import Program
+from ..ir.parser import parse
+from .cholsky import cholsky
+from .paper_examples import PAPER_EXAMPLES
+
+__all__ = ["CORPUS", "corpus_programs", "timing_corpus"]
+
+
+def _p(name: str, source: str) -> Program:
+    return parse(source, name)
+
+
+def cholesky_simple() -> Program:
+    """Textbook in-place Cholesky decomposition (lower triangular)."""
+
+    return _p(
+        "cholesky",
+        """
+        for k := 1 to n do {
+          a(k, k) := a(k, k)
+          for i := k+1 to n do
+            a(i, k) := a(i, k) + a(k, k)
+          for j := k+1 to n do
+            for i := j to n do
+              a(i, j) := a(i, j) + a(i, k) + a(j, k)
+        }
+        """,
+    )
+
+
+def lu_decomposition() -> Program:
+    """LU decomposition without pivoting."""
+
+    return _p(
+        "lu",
+        """
+        for k := 1 to n do {
+          for i := k+1 to n do
+            a(i, k) := a(i, k) + a(k, k)
+          for i := k+1 to n do
+            for j := k+1 to n do
+              a(i, j) := a(i, j) + a(i, k) + a(k, j)
+        }
+        """,
+    )
+
+
+def wavefront() -> Program:
+    """Classic 2-D wavefront recurrence."""
+
+    return _p(
+        "wavefront",
+        """
+        for i := 2 to n do
+          for j := 2 to m do
+            a(i, j) := a(i-1, j) + a(i, j-1) + a(i-1, j-1)
+        """,
+    )
+
+
+def wavefront_skewed() -> Program:
+    """Skewed wavefront (coupled subscripts)."""
+
+    return _p(
+        "wavefront_skewed",
+        """
+        for i := 2 to n do
+          for j := i to m+i do
+            a(j-i) := a(j-i+1) + a(j-i)
+        """,
+    )
+
+
+def wavefront_banded() -> Program:
+    """Banded wavefront with a max/min trapezoid."""
+
+    return _p(
+        "wavefront_banded",
+        """
+        for i := 1 to n do
+          for j := max(1, i-w) to min(m, i+w) do
+            a(i, j) := a(i-1, j) + a(i, j-1)
+        """,
+    )
+
+
+def matmul() -> Program:
+    """Matrix multiply with accumulation."""
+
+    return _p(
+        "matmul",
+        """
+        for i := 1 to n do
+          for j := 1 to n do {
+            c(i, j) := 0
+            for k := 1 to n do
+              c(i, j) := c(i, j) + a(i, k) + b(k, j)
+          }
+        """,
+    )
+
+
+def stencil3() -> Program:
+    """1-D three-point Jacobi-style stencil with a copy-back."""
+
+    return _p(
+        "stencil3",
+        """
+        for t := 1 to steps do {
+          for i := 2 to n-1 do
+            new(i) := a(i-1) + a(i) + a(i+1)
+          for i := 2 to n-1 do
+            a(i) := new(i)
+        }
+        """,
+    )
+
+
+def sor() -> Program:
+    """Gauss-Seidel / SOR sweep (in-place stencil)."""
+
+    return _p(
+        "sor",
+        """
+        for t := 1 to steps do
+          for i := 2 to n-1 do
+            a(i) := a(i-1) + a(i+1)
+        """,
+    )
+
+
+def transpose_copy() -> Program:
+    """Copy through a transpose (no aliasing within a sweep)."""
+
+    return _p(
+        "transpose",
+        """
+        for i := 1 to n do
+          for j := 1 to n do
+            b(j, i) := a(i, j)
+        for i := 1 to n do
+          for j := 1 to n do
+            a(i, j) := b(i, j)
+        """,
+    )
+
+
+def forward_substitution() -> Program:
+    """Triangular solve (forward substitution)."""
+
+    return _p(
+        "forward_sub",
+        """
+        for i := 1 to n do {
+          x(i) := b(i)
+          for j := 1 to i-1 do
+            x(i) := x(i) + l(i, j) + x(j)
+        }
+        """,
+    )
+
+
+def contrived_total_overwrite() -> Program:
+    """Contrived: a full overwrite between producer and consumer."""
+
+    return _p(
+        "total_overwrite",
+        """
+        for i := 1 to n do
+          a(i) := b(i)
+        for i := 1 to n do
+          a(i) := c(i)
+        for i := 1 to n do
+          d(i) := a(i)
+        """,
+    )
+
+
+def contrived_strided() -> Program:
+    """Contrived: strided writes that only partially overwrite."""
+
+    return _p(
+        "strided",
+        """
+        for i := 1 to n do
+          a(i) := b(i)
+        for i := 1 to n do
+          a(2*i) := c(i)
+        for i := 1 to n do
+          d(i) := a(i)
+        """,
+    )
+
+
+def contrived_offset_chain() -> Program:
+    """Contrived: a chain of shifted writes with a final read sweep."""
+
+    return _p(
+        "offset_chain",
+        """
+        for i := 1 to n do {
+          a(i+1) := b(i)
+          a(i) := c(i)
+        }
+        for i := 2 to n do
+          := a(i)
+        """,
+    )
+
+
+def contrived_double_write() -> Program:
+    """Contrived: same cell written twice per iteration."""
+
+    return _p(
+        "double_write",
+        """
+        for i := 1 to n do {
+          a(i) := b(i)
+          a(i) := a(i) + c(i)
+          d(i) := a(i)
+        }
+        """,
+    )
+
+
+def contrived_triangular_kill() -> Program:
+    """Contrived: triangular overwrite killing half the flow."""
+
+    return _p(
+        "triangular_kill",
+        """
+        for i := 1 to n do
+          for j := 1 to n do
+            a(i, j) := b(i, j)
+        for i := 1 to n do
+          for j := 1 to i do
+            a(i, j) := c(i, j)
+        for i := 1 to n do
+          for j := 1 to n do
+            := a(i, j)
+        """,
+    )
+
+
+def diagonal_recurrence() -> Program:
+    """Anti-diagonal recurrence: the dependence splits into restraint
+    vectors (+,*) and (0,+)."""
+
+    return _p(
+        "diagonal",
+        """
+        for i := 1 to n do
+          for j := 1 to n do
+            a(i+j) := a(i+j-1)
+        """,
+    )
+
+
+def symbolic_shift() -> Program:
+    """Example 7's shape: a symbolically-shifted source splits the
+    dependence across carrier levels."""
+
+    return _p(
+        "symbolic_shift",
+        """
+        array A[1:n, 1:m]
+        for i := x to n do
+          for j := 1 to m do
+            A(i, j) := A(i-x, y)
+        """,
+    )
+
+
+def antidiagonal_overwrite() -> Program:
+    """Coupled write/read with an overwriting sweep: split + kill work."""
+
+    return _p(
+        "antidiag_overwrite",
+        """
+        for i := 1 to n do
+          for j := 1 to n do
+            a(i+j) := b(i, j)
+        for i := 2 to n do
+          := a(i)
+        """,
+    )
+
+
+def skewed_copy() -> Program:
+    """Skewed producer feeding an unskewed consumer."""
+
+    return _p(
+        "skewed_copy",
+        """
+        for i := 1 to n do
+          for j := 1 to n do
+            a(2*i + j) := a(2*i + j - 2)
+        """,
+    )
+
+
+def gaussian_elimination() -> Program:
+    """Gaussian elimination (no pivoting), row-normalized."""
+
+    return _p(
+        "gauss",
+        """
+        for k := 1 to n do {
+          for j := k+1 to n do
+            a(k, j) := a(k, j) + a(k, k)
+          for i := k+1 to n do
+            for j := k+1 to n do
+              a(i, j) := a(i, j) + a(i, k) + a(k, j)
+        }
+        """,
+    )
+
+
+def red_black_sor() -> Program:
+    """Red-black SOR: strided sweeps over alternating colors."""
+
+    return _p(
+        "red_black",
+        """
+        for t := 1 to steps do {
+          for i := 2 to n step 2 do
+            a(i) := a(i-1) + a(i+1)
+          for i := 3 to n step 2 do
+            a(i) := a(i-1) + a(i+1)
+        }
+        """,
+    )
+
+
+def convolution() -> Program:
+    """1-D convolution with a compile-time window."""
+
+    return _p(
+        "convolution",
+        """
+        for i := 3 to n do
+          out(i) := a(i) + a(i-1) + a(i-2)
+        for i := 3 to n do
+          a(i) := out(i)
+        """,
+    )
+
+
+def prefix_sum() -> Program:
+    """Sequential prefix sum (loop-carried at distance 1)."""
+
+    return _p(
+        "prefix_sum",
+        """
+        for i := 2 to n do
+          a(i) := a(i-1) + b(i)
+        """,
+    )
+
+
+def banded_matvec() -> Program:
+    """Banded matrix-vector product with max/min trimming."""
+
+    return _p(
+        "banded_matvec",
+        """
+        for i := 1 to n do {
+          y(i) := 0
+          for j := max(1, i-w) to min(n, i+w) do
+            y(i) := y(i) + a(i, j) + x(j)
+        }
+        """,
+    )
+
+
+def back_substitution() -> Program:
+    """Back substitution, normalized to a forward loop (like CHOLSKY's
+    second K loop)."""
+
+    return _p(
+        "back_sub",
+        """
+        for k := 0 to n-1 do {
+          x(n-k) := b(n-k)
+          for j := 1 to k do
+            x(n-k) := x(n-k) + u(n-k, n-k+j) + x(n-k+j)
+        }
+        """,
+    )
+
+
+def histogram_indirect() -> Program:
+    """Indirect accumulation through an index array (symbolic layer)."""
+
+    return _p(
+        "histogram",
+        """
+        array bins[1:m]
+        array idx[1:n]
+        for i := 1 to n do
+          bins(idx(i)) := bins(idx(i)) + 1
+        """,
+    )
+
+
+def triple_nest_blocked() -> Program:
+    """Three-deep nest with in-place accumulation (matmul-like kills)."""
+
+    return _p(
+        "triple_nest",
+        """
+        for i := 1 to n do
+          for j := 1 to n do {
+            c(i, j) := 0
+            for k := 1 to n do
+              c(i, j) := c(i, j) + 1
+            d(i, j) := c(i, j)
+          }
+        """,
+    )
+
+
+def shifted_double_buffer() -> Program:
+    """Ping-pong buffers with offset writes (kill/cover interplay)."""
+
+    return _p(
+        "double_buffer",
+        """
+        for t := 1 to steps do {
+          for i := 1 to n do
+            b(i) := a(i)
+          for i := 1 to n do
+            a(i) := b(i)
+        }
+        """,
+    )
+
+
+def periodic_wrap() -> Program:
+    """Stencil with explicit boundary copies (ZIV + SIV mix)."""
+
+    return _p(
+        "periodic",
+        """
+        for t := 1 to steps do {
+          a(1) := a(n)
+          for i := 2 to n do
+            a(i) := a(i-1)
+        }
+        """,
+    )
+
+
+def broadcast_shift() -> Program:
+    """Repeatedly overwritten row read through a symbolic shift: the flow
+    dependence splits into (+,*) and (0,+) restraint vectors *and* the
+    source has a self-output dependence, so the general refinement test
+    runs on a split dependence (the paper's Figure 6 'split' population).
+    """
+
+    return _p(
+        "broadcast_shift",
+        """
+        for i := 1 to n do
+          for j := 1 to m do
+            a(j) := a(j - x)
+        """,
+    )
+
+
+def broadcast_shift_covered() -> Program:
+    """Split dependence followed by a covering consumer sweep."""
+
+    return _p(
+        "broadcast_shift_covered",
+        """
+        for i := 1 to n do
+          for j := 1 to m do
+            a(j) := a(j - x)
+        for j := 1 to m do
+          := a(j)
+        """,
+    )
+
+
+CORPUS: dict[str, object] = {
+    "cholsky_nas": cholsky,
+    "cholesky": cholesky_simple,
+    "lu": lu_decomposition,
+    "wavefront": wavefront,
+    "wavefront_skewed": wavefront_skewed,
+    "wavefront_banded": wavefront_banded,
+    "matmul": matmul,
+    "stencil3": stencil3,
+    "sor": sor,
+    "transpose": transpose_copy,
+    "forward_sub": forward_substitution,
+    "total_overwrite": contrived_total_overwrite,
+    "strided": contrived_strided,
+    "offset_chain": contrived_offset_chain,
+    "double_write": contrived_double_write,
+    "triangular_kill": contrived_triangular_kill,
+    "diagonal": diagonal_recurrence,
+    "symbolic_shift": symbolic_shift,
+    "antidiag_overwrite": antidiagonal_overwrite,
+    "skewed_copy": skewed_copy,
+    "broadcast_shift": broadcast_shift,
+    "broadcast_shift_covered": broadcast_shift_covered,
+    "gauss": gaussian_elimination,
+    "red_black": red_black_sor,
+    "convolution": convolution,
+    "prefix_sum": prefix_sum,
+    "banded_matvec": banded_matvec,
+    "back_sub": back_substitution,
+    "histogram": histogram_indirect,
+    "triple_nest": triple_nest_blocked,
+    "double_buffer": shifted_double_buffer,
+    "periodic": periodic_wrap,
+}
+
+
+def corpus_programs() -> list[Program]:
+    """Instantiate every corpus program (paper examples 1-6 included)."""
+
+    programs = [factory() for factory in CORPUS.values()]
+    for number in (1, 2, 3, 4, 5, 6):
+        programs.append(PAPER_EXAMPLES[number]())
+    return programs
+
+
+def timing_corpus() -> list[Program]:
+    """The programs used for the Figure 6/7 timing reproduction."""
+
+    return corpus_programs()

@@ -1,0 +1,219 @@
+"""The paper's eleven worked examples, as mini-language programs.
+
+Examples 1-6 (Section 4's figure) exercise killing, covering and
+refinement; Example 7 exercises symbolic conditions; Example 8 index
+arrays; Example 9 array values in loop bounds; Example 10 non-linear
+subscripts; Example 11 (from program s141 of [LCD91]) a mutated scalar
+subscript that defeated every compiler in that study.
+
+Each function returns a freshly parsed :class:`~repro.ir.ast.Program`;
+``PAPER_EXAMPLES`` maps example number to factory.
+"""
+
+from __future__ import annotations
+
+from ..ir.ast import Program
+from ..ir.parser import parse
+
+__all__ = [
+    "example1",
+    "example2",
+    "example3",
+    "example4",
+    "example5",
+    "example6",
+    "example7",
+    "example8",
+    "example9",
+    "example10",
+    "example11",
+    "PAPER_EXAMPLES",
+]
+
+
+def example1() -> Program:
+    """Killed flow dependence: the a(L1) loop overwrites a(n)."""
+
+    return parse(
+        """
+        a(n) :=
+        for L1 := n to n+10 do
+          a(L1) :=
+        for L1 := n to n+20 do
+          := a(L1)
+        """,
+        "example1",
+    )
+
+
+def example1_variant_m() -> Program:
+    """The paper's variant: first write to a(m); kill needs an assertion."""
+
+    return parse(
+        """
+        a(m) :=
+        for L1 := n to n+10 do
+          a(L1) :=
+        for L1 := n to n+20 do
+          := a(L1)
+        """,
+        "example1m",
+    )
+
+
+def example2() -> Program:
+    """Covering and killed dependences."""
+
+    return parse(
+        """
+        a(m) :=
+        for L1 := 1 to 100 do {
+          a(L1) :=
+          for L2 := 1 to n do
+            a(L2-1) :=
+          for L2 := 2 to n-1 do
+            := a(L2)
+        }
+        """,
+        "example2",
+    )
+
+
+def example3() -> Program:
+    """Refinement: (0+,1) refines to (0,1)."""
+
+    return parse(
+        """
+        for L1 := 1 to n do
+          for L2 := 2 to m do
+            a(L2) := a(L2-1)
+        """,
+        "example3",
+    )
+
+
+def example4() -> Program:
+    """Trapezoidal refinement: (0+,1) refines to (0,1)."""
+
+    return parse(
+        """
+        for L1 := 1 to n do
+          for L2 := n+2-L1 to m do
+            a(L2) := a(L2-1)
+        """,
+        "example4",
+    )
+
+
+def example5() -> Program:
+    """Partial refinement: (0+,1) refines only to (0:1,1)."""
+
+    return parse(
+        """
+        for L1 := 1 to n do
+          for L2 := L1 to m do
+            a(L2) := a(L2-1)
+        """,
+        "example5",
+    )
+
+
+def example6() -> Program:
+    """Coupled refinement: (a,a) with a >= 1 refines to (1,1)."""
+
+    return parse(
+        """
+        for L1 := 1 to n do
+          for L2 := 2 to m do
+            a(L1-L2) := a(L1-L2)
+        """,
+        "example6",
+    )
+
+
+def example7() -> Program:
+    """Symbolic analysis: dependence conditions over x, y, m, n."""
+
+    return parse(
+        """
+        array A[1:n, 1:m]
+        array C[1:n, 1:m]
+        for L1 := x to n do
+          for L2 := 1 to m do
+            A(L1, L2) := A(L1-x, y) + C(L1, L2)
+        """,
+        "example7",
+    )
+
+
+def example8() -> Program:
+    """Index arrays: queries about Q[a] = Q[b]."""
+
+    return parse(
+        """
+        array A[1:n]
+        array C[1:n]
+        array Q[1:n]
+        for L1 := 1 to n do
+          A[Q[L1]] := A[Q[L1+1]-1] + C[L1]
+        """,
+        "example8",
+    )
+
+
+def example9() -> Program:
+    """Array values in loop bounds."""
+
+    return parse(
+        """
+        for i := 1 to maxB do
+          for j := B[i] to B[i+1]-1 do
+            A(i, j) :=
+        """,
+        "example9",
+    )
+
+
+def example10() -> Program:
+    """Non-linear subscript i*j, treated as Q[i,j]."""
+
+    return parse(
+        """
+        for i := 1 to n do
+          for j := 1 to n do
+            A(i*j) :=
+        """,
+        "example10",
+    )
+
+
+def example11() -> Program:
+    """Program s141 of [LCD91]: mutated scalar k in a subscript."""
+
+    return parse(
+        """
+        for i := 1 to n do {
+          for j := i to n do {
+            a(k) := a(k) + bb(i, j)
+            k := k + j
+          }
+          k := k + i
+        }
+        """,
+        "example11",
+    )
+
+
+PAPER_EXAMPLES = {
+    1: example1,
+    2: example2,
+    3: example3,
+    4: example4,
+    5: example5,
+    6: example6,
+    7: example7,
+    8: example8,
+    9: example9,
+    10: example10,
+    11: example11,
+}

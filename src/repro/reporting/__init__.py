@@ -1,0 +1,31 @@
+"""Regeneration of the paper's evaluation figures and tables."""
+
+from .figures import ascii_scatter, comparison_table, figure6_text, figure7_text
+from .serialize import dependence_to_dict, result_to_dict, result_to_json
+from .tables import DependenceRow, flow_rows, flow_tables, format_rows
+from .timing import (
+    TimingStudy,
+    collect_pair_timings,
+    figure6_left_summary,
+    figure6_right_summary,
+    figure7_series,
+)
+
+__all__ = [
+    "flow_tables",
+    "flow_rows",
+    "format_rows",
+    "DependenceRow",
+    "TimingStudy",
+    "collect_pair_timings",
+    "figure6_left_summary",
+    "figure6_right_summary",
+    "figure7_series",
+    "ascii_scatter",
+    "figure6_text",
+    "figure7_text",
+    "comparison_table",
+    "dependence_to_dict",
+    "result_to_dict",
+    "result_to_json",
+]

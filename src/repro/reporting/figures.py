@@ -1,0 +1,132 @@
+"""Plain-text renderings of the paper's evaluation figures.
+
+Everything renders to monospaced text (no plotting dependencies): an ASCII
+scatter for Figure 6 and a sorted dual series for Figure 7, plus the
+headline comparison table for the baseline experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .timing import TimingStudy, figure6_left_summary, figure6_right_summary
+
+__all__ = ["ascii_scatter", "figure6_text", "figure7_text", "comparison_table"]
+
+
+def ascii_scatter(
+    points: Sequence[tuple[float, float]],
+    *,
+    width: int = 60,
+    height: int = 20,
+    marks: Sequence[str] | None = None,
+    log: bool = True,
+) -> str:
+    """Render (x, y) points as an ASCII scatter plot (log-log by default)."""
+
+    if not points:
+        return "(no data)\n"
+
+    def transform(value: float) -> float:
+        if not log:
+            return value
+        return math.log10(max(value, 1e-9))
+
+    xs = [transform(x) for x, _y in points]
+    ys = [transform(y) for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, ((x, y), tx, ty) in enumerate(zip(points, xs, ys)):
+        col = min(width - 1, int((tx - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((ty - y_lo) / y_span * (height - 1)))
+        mark = marks[index] if marks else "*"
+        grid[height - 1 - row][col] = mark
+    lines = ["+" + "-" * width + "+"]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines) + "\n"
+
+
+def figure6_text(study: TimingStudy) -> str:
+    """Figure 6 as text: scatter + population counts + ratio summary."""
+
+    from ..analysis.results import PairCategory
+
+    points = []
+    marks = []
+    mark_of = {
+        PairCategory.FAST: ".",
+        PairCategory.GENERAL: "*",
+        PairCategory.SPLIT: "o",
+    }
+    for record in study.pair_records:
+        points.append((record.standard_time, record.extended_time))
+        marks.append(mark_of[record.category])
+
+    counts = study.counts()
+    left = figure6_left_summary(study)
+    right = figure6_right_summary(study)
+    lines = [
+        "Figure 6 (left): standard (x) vs extended (y) analysis time per "
+        "array pair (log-log)",
+        ascii_scatter(points, marks=marks),
+        f"pairs: {counts['pairs']}  "
+        f"fast-path: {counts['fast']}  "
+        f"general-test (*): {counts['general']}  "
+        f"split (o): {counts['split']}",
+        "extended/standard ratio: "
+        + "  ".join(
+            f"{name}: median {stats['median_ratio']:.2f}x"
+            for name, stats in left.items()
+            if stats["count"]
+        ),
+        "",
+        "Figure 6 (right): kill tests — "
+        f"quick (no Omega): {right['quick_count']} "
+        f"(median {right['quick_median_s'] * 1e3:.3f} ms), "
+        f"Omega consulted: {right['omega_count']} "
+        f"(median {right['omega_median_s'] * 1e3:.3f} ms)",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def figure7_text(series: Sequence[tuple[float, float]], width: int = 72) -> str:
+    """Figure 7: per-pair times sorted by extended time, as two bars."""
+
+    if not series:
+        return "(no data)\n"
+    peak = max(extended for _standard, extended in series) or 1.0
+    lines = [
+        "Figure 7: analysis time per array pair, sorted by extended time",
+        "          (#: extended, =: standard portion)",
+    ]
+    step = max(1, len(series) // 40)
+    for index in range(0, len(series), step):
+        standard, extended = series[index]
+        bar_ext = int(extended / peak * width)
+        bar_std = int(standard / peak * width)
+        bar = "=" * bar_std + "#" * max(0, bar_ext - bar_std)
+        lines.append(
+            f"{index:4d} {extended * 1e3:9.3f}ms |{bar}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def comparison_table(rows: dict[str, dict[str, int]]) -> str:
+    """Baseline-vs-Omega false dependence table (program -> counts)."""
+
+    lines = [
+        f"{'program':<20}{'baseline':>10}{'omega std':>11}{'omega live':>12}"
+    ]
+    for name, counts in rows.items():
+        lines.append(
+            f"{name:<20}{counts['baseline']:>10}"
+            f"{counts['omega_standard']:>11}{counts['omega_live']:>12}"
+        )
+    return "\n".join(lines) + "\n"

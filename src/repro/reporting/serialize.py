@@ -1,0 +1,78 @@
+"""JSON-friendly serialization of analysis results.
+
+``result_to_dict`` flattens an :class:`AnalysisResult` into plain dicts and
+lists (statement labels, access strings, direction texts, statuses) so
+other tools can consume the analysis without importing the library's
+object model.  The output is stable across runs for the same program.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..analysis.dependences import Dependence
+from ..analysis.results import AnalysisResult
+
+__all__ = ["dependence_to_dict", "result_to_dict", "result_to_json"]
+
+
+def dependence_to_dict(dep: Dependence) -> dict[str, Any]:
+    """One dependence as a JSON-serializable dictionary."""
+
+    return {
+        "kind": dep.kind.value,
+        "status": dep.status.value,
+        "source": {
+            "statement": dep.src.statement.label,
+            "reference": str(dep.src.ref),
+            "is_write": dep.src.is_write,
+        },
+        "destination": {
+            "statement": dep.dst.statement.label,
+            "reference": str(dep.dst.ref),
+            "is_write": dep.dst.is_write,
+        },
+        "restraint": str(dep.restraint) if len(dep.restraint) else None,
+        "directions": [str(v) for v in dep.directions],
+        "unrefined_directions": [str(v) for v in dep.unrefined_directions],
+        "refined": dep.refined,
+        "covers": dep.covers,
+        "eliminated_by": (
+            {
+                "source": str(dep.eliminated_by.src),
+                "destination": str(dep.eliminated_by.dst),
+                "kind": dep.eliminated_by.kind.value,
+            }
+            if dep.eliminated_by is not None
+            else None
+        ),
+    }
+
+
+def result_to_dict(result: AnalysisResult) -> dict[str, Any]:
+    """The whole analysis as a JSON-serializable dictionary."""
+
+    return {
+        "program": result.program.name,
+        "statements": [
+            {
+                "label": stmt.label,
+                "text": str(stmt),
+                "loops": list(stmt.loop_vars),
+            }
+            for stmt in result.program.statements
+        ],
+        "flow": [dependence_to_dict(d) for d in result.flow],
+        "anti": [dependence_to_dict(d) for d in result.anti],
+        "output": [dependence_to_dict(d) for d in result.output],
+        "input": [dependence_to_dict(d) for d in result.input],
+        "counts": result.counts(),
+    }
+
+
+def result_to_json(result: AnalysisResult, **json_kwargs: Any) -> str:
+    """The analysis as a JSON string (``indent=2`` by default)."""
+
+    json_kwargs.setdefault("indent", 2)
+    return json.dumps(result_to_dict(result), **json_kwargs)

@@ -1,0 +1,95 @@
+"""Anti and output dependence soundness against the interpreter oracles."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.ir import (
+    anti_dependence_instances,
+    output_dependence_instances,
+    parse,
+    run_program,
+)
+from repro.programs import corpus_programs
+
+DEFAULT_SYMBOLS = dict(
+    n=4, m=5, w=1, steps=2, N=3, M=2, NMAT=1, NRHS=1, EPS=1, s=2,
+    maxB=2, x=1, y=2,
+)
+
+
+def _symbols(program):
+    return {
+        name: DEFAULT_SYMBOLS.get(name, 2)
+        for name in program.symbolic_constants
+    }
+
+
+class TestOracles:
+    def test_anti_instances(self):
+        program = parse("for i := 1 to n do a(i) := a(i+1)")
+        trace = run_program(program, {"n": 4})
+        instances = anti_dependence_instances(trace)
+        assert {f.distance for f in instances} == {(1,)}
+
+    def test_output_instances(self):
+        program = parse(
+            """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n do a(i) := c(i)
+            """
+        )
+        trace = run_program(program, {"n": 3})
+        instances = output_dependence_instances(trace)
+        pairs = {
+            (f.source.statement.label, f.destination.statement.label)
+            for f in instances
+        }
+        assert pairs == {("s1", "s2")}
+
+    def test_output_self(self):
+        program = parse("for i := 1 to n do for j := 1 to m do a(i) := j")
+        trace = run_program(program, {"n": 2, "m": 3})
+        instances = output_dependence_instances(trace)
+        distances = {f.distance for f in instances}
+        assert (0, 1) in distances
+        assert (0, 2) in distances
+
+
+class TestAntiOutputSoundness:
+    """Every observed anti/output instance must be reported by the analysis
+    with an admitting direction vector."""
+
+    @pytest.mark.parametrize(
+        "program",
+        [p for p in corpus_programs() if p.name != "CHOLSKY"],
+        ids=lambda p: p.name,
+    )
+    def test_corpus(self, program):
+        result = analyze(program)
+        trace = run_program(program, _symbols(program))
+
+        anti_deps = result.anti
+        for instance in anti_dependence_instances(trace):
+            candidates = [
+                d
+                for d in anti_deps
+                if d.src is instance.source and d.dst is instance.destination
+            ]
+            assert any(
+                (not d.deltas)
+                or any(v.admits(instance.distance) for v in d.directions)
+                for d in candidates
+            ), f"anti {instance.source} -> {instance.destination} {instance.distance}"
+
+        output_deps = result.output
+        for instance in output_dependence_instances(trace):
+            candidates = [
+                d
+                for d in output_deps
+                if d.src is instance.source and d.dst is instance.destination
+            ]
+            assert any(
+                (not d.deltas)
+                or any(v.admits(instance.distance) for v in d.directions)
+                for d in candidates
+            ), f"output {instance.source} -> {instance.destination} {instance.distance}"

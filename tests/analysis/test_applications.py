@@ -1,0 +1,165 @@
+"""Tests for the parallelization/privatization application layer."""
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.analysis.applications import (
+    carried_dependences,
+    parallelizable_loops,
+    privatizable_arrays,
+)
+from repro.ir import parse
+
+
+def analyzed(source):
+    program = parse(source)
+    return program, analyze(program)
+
+
+class TestCarriedDependences:
+    def test_recurrence_carries_flow(self):
+        program, result = analyzed("for i := 1 to n do a(i) := a(i-1)")
+        (loop,) = program.loops()
+        carried = carried_dependences(result, loop)
+        assert any(d.kind.value == "flow" for d in carried)
+
+    def test_independent_iterations_carry_nothing(self):
+        program, result = analyzed("for i := 1 to n do a(i) := b(i)")
+        (loop,) = program.loops()
+        assert carried_dependences(result, loop) == []
+
+    def test_inner_loop_independent_outer_carried(self):
+        program, result = analyzed(
+            """
+            for t := 1 to steps do
+              for i := 2 to n do
+                a(i) := a(i) + b(i, t)
+            """
+        )
+        outer, inner = program.loops()
+        carried_outer = carried_dependences(result, outer)
+        carried_inner = carried_dependences(result, inner)
+        assert carried_outer
+        assert not [d for d in carried_inner if d.kind.value == "flow"]
+
+
+class TestPrivatizableArrays:
+    def test_scratch_array_is_privatizable(self):
+        # tmp is written then read in the same iteration; the kill
+        # analysis proves the cross-iteration flow dead.
+        program, result = analyzed(
+            """
+            for i := 1 to n do {
+              tmp(1) := b(i)
+              c(i) := tmp(1)
+            }
+            """
+        )
+        (loop,) = program.loops()
+        assert "tmp" in privatizable_arrays(result, loop)
+
+    def test_memory_based_analysis_would_block_it(self):
+        # Without kills the cross-iteration flow tmp@i -> tmp-read@i' looks
+        # real and privatization appears to change semantics.
+        program = parse(
+            """
+            for i := 1 to n do {
+              tmp(1) := b(i)
+              c(i) := tmp(1)
+            }
+            """
+        )
+        result = analyze(program, AnalysisOptions(extended=False))
+        (loop,) = program.loops()
+        assert "tmp" not in privatizable_arrays(result, loop)
+
+    def test_carried_flow_blocks_privatization(self):
+        program, result = analyzed("for i := 1 to n do a(i) := a(i-1)")
+        (loop,) = program.loops()
+        assert "a" not in privatizable_arrays(result, loop)
+
+    def test_values_entering_loop_block_privatization(self):
+        program, result = analyzed(
+            """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n do c(i) := a(i)
+            """
+        )
+        second = program.loops()[1]
+        assert "a" not in privatizable_arrays(result, second)
+
+
+class TestParallelizableLoops:
+    def test_embarrassingly_parallel(self):
+        _program, result = analyzed("for i := 1 to n do a(i) := b(i)")
+        (report,) = parallelizable_loops(result)
+        assert report.parallelizable
+        assert not report.privatized
+
+    def test_recurrence_blocks(self):
+        _program, result = analyzed("for i := 1 to n do a(i) := a(i-1)")
+        (report,) = parallelizable_loops(result)
+        assert not report.parallelizable
+        assert report.blocking
+
+    def test_privatization_enables_parallelism(self):
+        # The scalar-expanded temporary creates anti/output dependences
+        # across iterations; privatization removes them because the kill
+        # analysis shows no cross-iteration flow.
+        _program, result = analyzed(
+            """
+            for i := 1 to n do {
+              tmp(1) := b(i)
+              c(i) := tmp(1) + tmp(1)
+            }
+            """
+        )
+        (report,) = parallelizable_loops(result)
+        assert report.parallelizable
+        assert report.privatized == {"tmp"}
+
+    def test_without_kill_analysis_loop_stays_serial(self):
+        program = parse(
+            """
+            for i := 1 to n do {
+              tmp(1) := b(i)
+              c(i) := tmp(1) + tmp(1)
+            }
+            """
+        )
+        result = analyze(program, AnalysisOptions(extended=False))
+        (report,) = parallelizable_loops(result)
+        assert not report.parallelizable
+
+    def test_wavefront_outer_serial(self):
+        _program, result = analyzed(
+            """
+            for i := 2 to n do
+              for j := 2 to m do
+                a(i, j) := a(i-1, j) + a(i, j-1)
+            """
+        )
+        outer, inner = parallelizable_loops(result)
+        assert not outer.parallelizable
+        assert not inner.parallelizable
+
+    def test_describe(self):
+        _program, result = analyzed("for i := 1 to n do a(i) := b(i)")
+        (report,) = parallelizable_loops(result)
+        assert "PARALLEL" in report.describe()
+
+    def test_stencil_copy_phase_structure(self):
+        # Jacobi with explicit copy: the t loop is serial (real flow),
+        # both inner i loops parallelize.
+        _program, result = analyzed(
+            """
+            for t := 1 to steps do {
+              for i := 2 to n-1 do new(i) := a(i-1) + a(i+1)
+              for i := 2 to n-1 do a(i) := new(i)
+            }
+            """
+        )
+        reports = {r.loop.var: r for r in parallelizable_loops(result)}
+        assert not reports["t"].parallelizable
+        inner = [r for r in parallelizable_loops(result) if r.loop.var == "i"]
+        assert all(r.parallelizable for r in inner)

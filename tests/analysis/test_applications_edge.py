@@ -1,0 +1,85 @@
+"""Edge cases for the applications and session layers."""
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.analysis.applications import (
+    carried_dependences,
+    parallelizable_loops,
+    privatizable_arrays,
+)
+from repro.analysis.session import SymbolicSession
+from repro.ir import parse
+
+
+class TestApplicationsEdges:
+    def test_program_without_loops(self):
+        result = analyze(parse("a(1) := b(1)"))
+        assert parallelizable_loops(result) == []
+
+    def test_dependence_entering_loop_is_not_carried(self):
+        # A write outside the loop feeding reads inside does not order the
+        # loop's iterations against each other: every iteration reads the
+        # same pre-written value, so the loop still parallelizes.
+        program = parse(
+            """
+            a(1) := c(1)
+            for i := 1 to n do b(i) := a(1)
+            """
+        )
+        result = analyze(program)
+        (loop,) = program.loops()
+        assert carried_dependences(result, loop) == []
+        (report,) = parallelizable_loops(result)
+        assert report.parallelizable
+
+    def test_privatizable_empty_for_loop_without_arrays(self):
+        program = parse("for i := 1 to n do k := 1")
+        result = analyze(program)
+        (loop,) = program.loops()
+        # The scalar k is written every iteration with no read: the output
+        # dependence is removable by privatization.
+        assert "k" in privatizable_arrays(result, loop)
+
+    def test_multiple_independent_loops(self):
+        program = parse(
+            """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n do c(i) := d(i)
+            """
+        )
+        result = analyze(program)
+        reports = parallelizable_loops(result)
+        assert len(reports) == 2
+        assert all(r.parallelizable for r in reports)
+
+
+class TestSessionEdges:
+    def test_bound_array_values(self):
+        program = parse(
+            """
+            array a[1:n]
+            array Q[1:n]
+            for i := 1 to n do a(Q(i)) := a(Q(i)) + 1
+            """
+        )
+        session = SymbolicSession(program)
+        session.bound_array_values("Q", 1, 1)
+        # With Q pinned to a single cell, queries about output collisions
+        # are certainly satisfied; the session still lists the flow/output
+        # questions (values do collide).
+        assert session.pending_queries()
+
+    def test_analyze_without_knowledge_matches_plain_analyze(self):
+        source = "for i := 1 to n do a(i) := a(i-1)"
+        session_result = SymbolicSession(parse(source)).analyze()
+        plain_result = analyze(parse(source))
+        assert session_result.counts() == plain_result.counts()
+
+    def test_options_propagate(self):
+        source = "for i := 1 to n do for j := i to m do a(j) := a(j-1)"
+        session = SymbolicSession(
+            parse(source), AnalysisOptions(partial_refine=True)
+        )
+        (dep,) = session.analyze().live_flow()
+        assert dep.direction_text() == "(0:1,1)"

@@ -1,0 +1,307 @@
+"""Covering, terminating and killing tests."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisOptions,
+    DependenceKind,
+    DependenceStatus,
+    KillTester,
+    SymbolTable,
+    analyze,
+    compute_dependences,
+    cover_quick_reject,
+    covers_destination,
+    kill_quick_reject,
+    terminates_source,
+)
+from repro.ir import parse
+
+
+def deps_between(program, src_label, dst_label, kind=DependenceKind.FLOW, array=None):
+    symbols = SymbolTable()
+    sources = [
+        a
+        for a in (program.writes() if kind is not DependenceKind.ANTI else program.reads())
+        if a.statement.label == src_label and (array is None or a.array == array)
+    ]
+    dsts = [
+        a
+        for a in (program.reads() if kind is DependenceKind.FLOW else program.writes())
+        if a.statement.label == dst_label and (array is None or a.array == array)
+    ]
+    found = []
+    for s in sources:
+        for d in dsts:
+            if s.array == d.array:
+                found.extend(compute_dependences(s, d, kind, symbols))
+    return found
+
+
+class TestCovering:
+    def test_full_overwrite_covers(self):
+        program = parse(
+            """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n do := a(i)
+            """
+        )
+        (dep,) = deps_between(program, "s1", "s2")
+        assert covers_destination(dep)
+
+    def test_partial_overwrite_does_not_cover(self):
+        program = parse(
+            """
+            for i := 2 to n do a(i) := b(i)
+            for i := 1 to n do := a(i)
+            """
+        )
+        (dep,) = deps_between(program, "s1", "s2")
+        assert not covers_destination(dep)
+
+    def test_strided_write_does_not_cover(self):
+        program = parse(
+            """
+            for i := 1 to n do a(2*i) := b(i)
+            for i := 2 to 2*n do := a(i)
+            """
+        )
+        (dep,) = deps_between(program, "s1", "s2")
+        assert not covers_destination(dep)
+
+    def test_strided_write_covers_strided_read(self):
+        program = parse(
+            """
+            for i := 1 to n do a(2*i) := b(i)
+            for i := 1 to n do := a(2*i)
+            """
+        )
+        (dep,) = deps_between(program, "s1", "s2")
+        assert covers_destination(dep)
+
+    def test_quick_reject_when_zero_distance_impossible(self):
+        program = parse(
+            """
+            for i := 1 to n do {
+              a(i+1) := b(i)
+              := a(i)
+            }
+            """
+        )
+        (dep,) = deps_between(program, "s1", "s2")
+        assert cover_quick_reject(dep)
+        assert not covers_destination(dep)
+
+    def test_cover_with_symbolic_bounds(self):
+        # Paper Example 2 core: write covers a shifted read range.
+        program = parse(
+            """
+            for i := 1 to n do a(i-1) := b(i)
+            for i := 2 to n-1 do := a(i)
+            """
+        )
+        (dep,) = deps_between(program, "s1", "s2")
+        assert covers_destination(dep)
+
+
+class TestTerminating:
+    def test_full_overwrite_terminates(self):
+        program = parse(
+            """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n do a(i) := c(i)
+            """
+        )
+        (dep,) = deps_between(program, "s1", "s2", DependenceKind.OUTPUT)
+        assert terminates_source(dep)
+
+    def test_partial_overwrite_does_not_terminate(self):
+        program = parse(
+            """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n-1 do a(i) := c(i)
+            """
+        )
+        (dep,) = deps_between(program, "s1", "s2", DependenceKind.OUTPUT)
+        assert not terminates_source(dep)
+
+    def test_terminate_requires_write_destination(self):
+        program = parse(
+            """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n do := a(i)
+            """
+        )
+        (dep,) = deps_between(program, "s1", "s2")
+        assert not terminates_source(dep)
+
+
+class TestKilling:
+    def analyze_kill(self, source, victim_labels, killer_label):
+        program = parse(source)
+        result = analyze(program)
+        by_pair = {}
+        for dep in result.flow:
+            by_pair[(dep.src.statement.label, dep.dst.statement.label)] = dep
+        return program, result, by_pair
+
+    def test_example1_shape_kill(self):
+        _program, _result, by_pair = self.analyze_kill(
+            """
+            a(n) :=
+            for i := n to n+10 do a(i) :=
+            for i := n to n+20 do := a(i)
+            """,
+            [("s1", "s3")],
+            "s2",
+        )
+        assert by_pair[("s1", "s3")].status is DependenceStatus.KILLED
+        assert by_pair[("s2", "s3")].status is DependenceStatus.LIVE
+
+    def test_partial_overwrite_no_kill(self):
+        _program, _result, by_pair = self.analyze_kill(
+            """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n do a(2*i) := c(i)
+            for i := 1 to n do := a(i)
+            """,
+            [],
+            "s2",
+        )
+        # The strided write cannot kill the dense one.
+        assert by_pair[("s1", "s3")].status is DependenceStatus.LIVE
+        assert by_pair[("s2", "s3")].status is DependenceStatus.LIVE
+
+    def test_triangular_kill_is_partial(self):
+        _program, _result, by_pair = self.analyze_kill(
+            """
+            for i := 1 to n do for j := 1 to n do a(i, j) := b(i, j)
+            for i := 1 to n do for j := 1 to i do a(i, j) := c(i, j)
+            for i := 1 to n do for j := 1 to n do := a(i, j)
+            """,
+            [],
+            "s2",
+        )
+        # The triangular overwrite covers only j <= i: no full kill.
+        assert by_pair[("s1", "s3")].status is DependenceStatus.LIVE
+
+    def test_self_kill_within_loop(self):
+        # Second write in the same iteration kills the first.
+        _program, _result, by_pair = self.analyze_kill(
+            """
+            for i := 1 to n do {
+              a(i) := b(i)
+              a(i) := c(i)
+              d(i) := a(i)
+            }
+            """,
+            [("s1", "s3")],
+            "s2",
+        )
+        assert by_pair[("s1", "s3")].status is not DependenceStatus.LIVE
+        assert by_pair[("s2", "s3")].status is DependenceStatus.LIVE
+
+    def test_quick_reject_no_output_dependence(self):
+        program = parse(
+            """
+            for i := 1 to n do a(2*i) := b(i)
+            for i := 1 to n do a(2*i+1) := c(i)
+            for i := 1 to 2*n do := a(i)
+            """
+        )
+        symbols = SymbolTable()
+        writes = program.writes()
+        read = program.reads()[-1]
+        victim = compute_dependences(writes[0], read, DependenceKind.FLOW, symbols)[0]
+        killer = compute_dependences(writes[1], read, DependenceKind.FLOW, symbols)[0]
+        # Writes touch disjoint (even/odd) cells: no output dependence.
+        assert kill_quick_reject(victim, killer, output_pairs=set())
+
+    def test_kill_requires_intervening_position(self):
+        # The overwrite happens after the read: no kill.
+        _program, _result, by_pair = self.analyze_kill(
+            """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n do := a(i)
+            for i := 1 to n do a(i) := c(i)
+            """,
+            [],
+            "s3",
+        )
+        assert by_pair[("s1", "s2")].status is DependenceStatus.LIVE
+
+    def test_kill_across_outer_loop(self):
+        # Writes of iteration t are overwritten at the start of t+1 before
+        # any read of t+1: flow from s1 to s2 is only intra-iteration.
+        _program, result, by_pair = self.analyze_kill(
+            """
+            for t := 1 to steps do {
+              for i := 1 to n do a(i) := b(i, t)
+              for i := 1 to n do := a(i)
+            }
+            """,
+            [],
+            "s1",
+        )
+        dep = by_pair[("s1", "s2")]
+        assert dep.status is DependenceStatus.LIVE
+        assert dep.direction_text() == "(0)"
+
+
+class TestGroundTruthCorpus:
+    """Analysis vs interpreter over kill/cover-heavy kernels."""
+
+    CASES = [
+        (
+            """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n do a(i) := c(i)
+            for i := 1 to n do d(i) := a(i)
+            """,
+            dict(n=6),
+        ),
+        (
+            """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n do a(2*i) := c(i)
+            for i := 1 to n do := a(i)
+            """,
+            dict(n=7),
+        ),
+        (
+            """
+            for i := 1 to n do {
+              a(i+1) := b(i)
+              a(i) := c(i)
+            }
+            for i := 2 to n do := a(i)
+            """,
+            dict(n=6),
+        ),
+        (
+            """
+            for t := 1 to s do {
+              for i := 2 to n-1 do x(i) := a(i-1) + a(i+1)
+              for i := 2 to n-1 do a(i) := x(i)
+            }
+            """,
+            dict(s=3, n=7),
+        ),
+    ]
+
+    @pytest.mark.parametrize("source,symbols", CASES)
+    def test_live_deps_cover_actual_flows_and_dead_have_none(
+        self, source, symbols
+    ):
+        from repro.ir import run_program, value_based_flows
+
+        program = parse(source)
+        result = analyze(program)
+        live_pairs = {(d.src, d.dst) for d in result.live_flow()}
+        dead_pairs = {
+            (d.src, d.dst) for d in result.dead_flow()
+        } - live_pairs
+        trace = run_program(program, symbols)
+        actual = {(f.source, f.destination) for f in value_based_flows(trace)}
+        assert actual <= live_pairs
+        assert not (actual & dead_pairs)

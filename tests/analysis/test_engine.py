@@ -1,0 +1,199 @@
+"""Whole-program analysis engine tests, including randomized differential
+testing against the concrete interpreter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    AnalysisOptions,
+    DependenceKind,
+    DependenceStatus,
+    analyze,
+)
+from repro.analysis.results import PairCategory
+from repro.ir import parse, run_program, value_based_flows
+from repro.programs import corpus_programs
+
+
+class TestEngineBasics:
+    def test_counts_structure(self):
+        result = analyze(parse("for i := 1 to n do a(i) := a(i-1)"))
+        counts = result.counts()
+        assert counts["flow_live"] == 1
+        assert counts["anti"] >= 0
+        assert counts["output"] >= 0
+
+    def test_standard_mode_reports_no_kills(self):
+        source = """
+            a(n) :=
+            for i := n to n+10 do a(i) :=
+            for i := n to n+20 do := a(i)
+        """
+        extended = analyze(parse(source))
+        standard = analyze(parse(source), AnalysisOptions(extended=False))
+        assert len(extended.dead_flow()) == 1
+        assert len(standard.dead_flow()) == 0
+        assert len(standard.flow) == 2
+
+    def test_disable_kill_keeps_refinement(self):
+        source = "for i := 1 to n do for j := 2 to m do a(j) := a(j-1)"
+        result = analyze(parse(source), AnalysisOptions(kill=False))
+        (dep,) = result.live_flow()
+        assert dep.refined
+
+    def test_record_timings_populates_records(self):
+        source = """
+            for i := 1 to n do a(i) := b(i)
+            for i := 1 to n do := a(i)
+        """
+        result = analyze(parse(source), AnalysisOptions(record_timings=True))
+        assert len(result.pair_records) == 1
+        record = result.pair_records[0]
+        assert record.standard_time > 0
+        assert record.extended_time >= record.standard_time
+        assert record.category in PairCategory
+
+    def test_output_dependences_computed(self):
+        result = analyze(
+            parse(
+                """
+                for i := 1 to n do a(i) := b(i)
+                for i := 1 to n do a(i) := c(i)
+                """
+            )
+        )
+        pairs = {
+            (d.src.statement.label, d.dst.statement.label) for d in result.output
+        }
+        assert ("s1", "s2") in pairs
+
+    def test_anti_dependences_computed(self):
+        result = analyze(parse("for i := 1 to n do a(i) := a(i+1)"))
+        assert len(result.anti) == 1
+
+    def test_flow_between_helper(self):
+        result = analyze(parse("for i := 1 to n do a(i) := a(i-1)"))
+        assert len(result.flow_between("s1", "s1")) == 1
+        assert result.flow_between("s1", "nope") == []
+
+    def test_scalar_dependences(self):
+        result = analyze(
+            parse(
+                """
+                k := 1
+                := k
+                """
+            )
+        )
+        live = result.live_flow()
+        assert len(live) == 1
+        assert live[0].src.array == "k"
+
+    def test_extend_all_kinds_refines_output(self):
+        source = "for i := 1 to n do for j := 2 to m do a(j) := a(j-1)"
+        result = analyze(
+            parse(source), AnalysisOptions(extend_all_kinds=True)
+        )
+        self_outputs = [
+            d for d in result.output if d.src.statement is d.dst.statement
+        ]
+        assert any(d.refined for d in self_outputs)
+
+
+class TestCorpusDifferential:
+    """Every corpus program: live deps must cover actual dataflow; dead
+    deps must have no actual instance; distances must be admitted."""
+
+    SYMBOL_CHOICES = [
+        dict(
+            n=5, m=6, w=2, steps=3, N=3, M=2, NMAT=1, NRHS=1, EPS=1, s=2,
+            maxB=3, x=1, y=2, k0=2,
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "program", corpus_programs(), ids=lambda p: p.name
+    )
+    def test_analysis_sound_against_interpreter(self, program):
+        symbols = {
+            name: self.SYMBOL_CHOICES[0].get(name, 3)
+            for name in program.symbolic_constants
+        }
+        result = analyze(program)
+        live = result.live_flow()
+        live_pairs = {(d.src, d.dst) for d in live}
+        dead_pairs = {(d.src, d.dst) for d in result.dead_flow()} - live_pairs
+        trace = run_program(program, symbols)
+        for flow in value_based_flows(trace):
+            pair = (flow.source, flow.destination)
+            assert pair in live_pairs, f"missing live dep for {pair}"
+            assert pair not in dead_pairs
+            candidates = [
+                d for d in live if d.src is flow.source and d.dst is flow.destination
+            ]
+            assert any(
+                (not d.deltas)
+                or any(v.admits(flow.distance) for v in d.directions)
+                for d in candidates
+            ), f"distance {flow.distance} uncovered for {pair}"
+
+
+# ---------------------------------------------------------------------------
+# Randomized program generation
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_programs(draw):
+    """Small random 1-2 level loop nests over one array with shifts/strides."""
+
+    n_statements = draw(st.integers(2, 4))
+    lines = []
+    for index in range(n_statements):
+        depth = draw(st.integers(1, 2))
+        shift = draw(st.integers(-2, 2))
+        stride = draw(st.sampled_from([1, 1, 1, 2]))
+        lo = draw(st.integers(1, 3))
+        hi = draw(st.integers(4, 7))
+        var = "i"
+        sub = f"{stride}*{var}" if stride != 1 else var
+        if shift > 0:
+            sub += f"+{shift}"
+        elif shift < 0:
+            sub += f"{shift}"
+        kind = draw(st.sampled_from(["write", "read", "update"]))
+        if depth == 1:
+            head = f"for i := {lo} to {hi} do "
+        else:
+            head = f"for t := 1 to 2 do for i := {lo} to {hi} do "
+        if kind == "write":
+            lines.append(head + f"a({sub}) :=")
+        elif kind == "read":
+            lines.append(head + f":= a({sub})")
+        else:
+            rshift = draw(st.integers(-2, 2))
+            rsub = f"i+{rshift}" if rshift >= 0 else f"i{rshift}"
+            lines.append(head + f"a({sub}) := a({rsub})")
+    return "\n".join(lines)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_programs())
+def test_random_programs_analysis_sound(source):
+    program = parse(source)
+    result = analyze(program, AnalysisOptions(partial_refine=True))
+    live = result.live_flow()
+    live_pairs = {(d.src, d.dst) for d in live}
+    dead_pairs = {(d.src, d.dst) for d in result.dead_flow()} - live_pairs
+    trace = run_program(program, {})
+    for flow in value_based_flows(trace):
+        pair = (flow.source, flow.destination)
+        assert pair in live_pairs
+        assert pair not in dead_pairs
+        candidates = [
+            d for d in live if d.src is flow.source and d.dst is flow.destination
+        ]
+        assert any(
+            (not d.deltas) or any(v.admits(flow.distance) for v in d.directions)
+            for d in candidates
+        )

@@ -1,0 +1,61 @@
+"""Input (read-read) dependence tests — the locality-analysis extension."""
+
+import pytest
+
+from repro.analysis import AnalysisOptions, DependenceKind, analyze
+from repro.ir import parse
+
+
+class TestInputDependences:
+    def test_off_by_default(self):
+        result = analyze(parse("for i := 1 to n do b(i) := a(i) + a(i)"))
+        assert result.input == []
+
+    def test_reuse_detected(self):
+        result = analyze(
+            parse(
+                """
+                for i := 1 to n do {
+                  b(i) := a(i)
+                  c(i) := a(i)
+                }
+                """
+            ),
+            AnalysisOptions(input_deps=True),
+        )
+        assert len(result.input) == 1
+        (dep,) = result.input
+        assert dep.kind is DependenceKind.INPUT
+        assert dep.direction_text() == "(0)"
+
+    def test_no_reuse_between_disjoint_reads(self):
+        result = analyze(
+            parse(
+                """
+                for i := 1 to n do b(i) := a(2*i)
+                for i := 1 to n do c(i) := a(2*i+1)
+                """
+            ),
+            AnalysisOptions(input_deps=True),
+        )
+        assert result.input == []
+
+    def test_counts_include_input(self):
+        result = analyze(
+            parse(
+                """
+                for i := 1 to n do b(i) := a(i)
+                for i := 1 to n do c(i) := a(i-1)
+                """
+            ),
+            AnalysisOptions(input_deps=True),
+        )
+        assert result.counts()["input"] == 1
+
+    def test_carried_reuse_distance(self):
+        result = analyze(
+            parse("for i := 2 to n do b(i) := a(i) + a(i-1)"),
+            AnalysisOptions(input_deps=True),
+        )
+        directions = {d.direction_text() for d in result.input}
+        assert "(1)" in directions

@@ -1,0 +1,70 @@
+"""Smoke tests covering the AnalysisOptions flag matrix.
+
+Every flag combination must produce a sound result on a kill-heavy kernel:
+the set of live dependences can only shrink as more machinery is enabled,
+and actual dataflow is always covered.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.ir import parse, run_program, value_based_flows
+
+SOURCE = """
+for i := 1 to n do a(i) := b(i)
+for i := 1 to n do a(i) := c(i)
+for i := 1 to n do d(i) := a(i)
+"""
+
+
+FLAGS = ["refine", "cover", "kill", "terminate"]
+
+
+@pytest.mark.parametrize(
+    "combo", list(itertools.product([False, True], repeat=len(FLAGS)))
+)
+def test_every_flag_combination_is_sound(combo):
+    options = AnalysisOptions(**dict(zip(FLAGS, combo)))
+    program = parse(SOURCE)
+    result = analyze(program, options)
+    live = {(d.src, d.dst) for d in result.live_flow()}
+    trace = run_program(program, {"n": 5})
+    actual = {(f.source, f.destination) for f in value_based_flows(trace)}
+    assert actual <= live
+
+
+def test_more_machinery_never_adds_live_dependences():
+    program_text = SOURCE
+    weakest = analyze(
+        parse(program_text), AnalysisOptions(extended=False)
+    )
+    strongest = analyze(
+        parse(program_text),
+        AnalysisOptions(kill=True, cover=True, terminate=True),
+    )
+
+    def live_keys(result):
+        return {
+            (d.src.statement.label, d.dst.statement.label)
+            for d in result.live_flow()
+        }
+
+    assert live_keys(strongest) <= live_keys(weakest)
+
+
+def test_partial_refine_only_affects_refinement():
+    source = "for i := 1 to n do for j := i to m do a(j) := a(j-1)"
+    base = analyze(parse(source), AnalysisOptions(partial_refine=False))
+    ranged = analyze(parse(source), AnalysisOptions(partial_refine=True))
+    assert len(base.flow) == len(ranged.flow)
+    assert {d.status for d in base.flow} == {d.status for d in ranged.flow}
+
+
+def test_extend_all_kinds_smoke():
+    result = analyze(
+        parse(SOURCE),
+        AnalysisOptions(extend_all_kinds=True, terminate=True, input_deps=True),
+    )
+    assert result.counts()["output"] >= 1

@@ -1,0 +1,119 @@
+"""Execution-order case generation tests."""
+
+import pytest
+
+from repro.analysis import SymbolTable, build_instance
+from repro.analysis.ordering import execution_order_cases, order_case_constraints
+from repro.ir import parse
+from repro.omega import Problem, Variable, is_satisfiable
+
+
+def contexts(source, src_label, dst_label):
+    program = parse(source)
+    symbols = SymbolTable()
+    src = [a for a in program.accesses() if a.statement.label == src_label][0]
+    dst = [a for a in program.accesses() if a.statement.label == dst_label][0]
+    return (
+        build_instance(src, "i", symbols),
+        build_instance(dst, "j", symbols),
+    )
+
+
+class TestOrderCaseConstraints:
+    def setup_method(self):
+        self.a = (Variable("i1"), Variable("i2"))
+        self.b = (Variable("j1"), Variable("j2"))
+
+    def test_loop_independent_case(self):
+        constraints = order_case_constraints(self.a, self.b, 2, 0)
+        p = Problem(constraints)
+        assert p.is_satisfied_by(
+            {self.a[0]: 1, self.b[0]: 1, self.a[1]: 2, self.b[1]: 2}
+        )
+        assert not p.is_satisfied_by(
+            {self.a[0]: 1, self.b[0]: 2, self.a[1]: 2, self.b[1]: 2}
+        )
+
+    def test_outer_carried_case(self):
+        constraints = order_case_constraints(self.a, self.b, 2, 1)
+        p = Problem(constraints)
+        assert p.is_satisfied_by(
+            {self.a[0]: 1, self.b[0]: 2, self.a[1]: 9, self.b[1]: 0}
+        )
+        assert not p.is_satisfied_by(
+            {self.a[0]: 2, self.b[0]: 2, self.a[1]: 0, self.b[1]: 9}
+        )
+
+    def test_inner_carried_pins_outer(self):
+        constraints = order_case_constraints(self.a, self.b, 2, 2)
+        p = Problem(constraints)
+        assert p.is_satisfied_by(
+            {self.a[0]: 3, self.b[0]: 3, self.a[1]: 1, self.b[1]: 2}
+        )
+        assert not p.is_satisfied_by(
+            {self.a[0]: 2, self.b[0]: 3, self.a[1]: 1, self.b[1]: 2}
+        )
+
+
+class TestExecutionOrderCases:
+    def test_same_nest_counts(self):
+        a_ctx, b_ctx = contexts(
+            """
+            for i := 1 to n do for j := 1 to m do {
+              a(i, j) := 1
+              b(i, j) := 2
+            }
+            """,
+            "s1",
+            "s2",
+        )
+        # Two carried levels + the loop-independent case (s1 before s2).
+        cases = execution_order_cases(a_ctx, b_ctx)
+        assert len(cases) == 3
+
+    def test_backward_pair_has_no_independent_case(self):
+        a_ctx, b_ctx = contexts(
+            """
+            for i := 1 to n do for j := 1 to m do {
+              a(i, j) := 1
+              b(i, j) := 2
+            }
+            """,
+            "s2",
+            "s1",
+        )
+        cases = execution_order_cases(a_ctx, b_ctx)
+        assert len(cases) == 2  # carried only
+
+    def test_disjoint_nests(self):
+        a_ctx, b_ctx = contexts(
+            """
+            for i := 1 to n do a(i) := 1
+            for i := 1 to n do b(i) := 2
+            """,
+            "s1",
+            "s2",
+        )
+        cases = execution_order_cases(a_ctx, b_ctx)
+        assert cases == [[]]  # only the (trivially true) independent case
+
+    def test_cases_are_mutually_exclusive(self):
+        a_ctx, b_ctx = contexts(
+            """
+            for i := 1 to 3 do for j := 1 to 3 do {
+              a(i, j) := 1
+              b(i, j) := 2
+            }
+            """,
+            "s1",
+            "s2",
+        )
+        cases = execution_order_cases(a_ctx, b_ctx)
+        for first in range(len(cases)):
+            for second in range(first + 1, len(cases)):
+                both = Problem(cases[first] + cases[second])
+                bounds = Problem(
+                    list(a_ctx.domain.constraints)
+                    + list(b_ctx.domain.constraints)
+                )
+                assert not is_satisfiable(bounds.conjoin(both))

@@ -1,0 +1,262 @@
+"""The paper's Examples 1-8, with the exact results the paper reports."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisOptions,
+    DependenceKind,
+    DependenceStatus,
+    analyze,
+)
+from repro.analysis.symbolic import (
+    ArrayProperty,
+    PropertyRegistry,
+    dependence_conditions,
+    format_problem,
+    generate_query,
+    symbolic_dependence_exists,
+)
+from repro.omega import Variable, le
+from repro.programs import (
+    example1,
+    example2,
+    example3,
+    example4,
+    example5,
+    example6,
+    example7,
+    example8,
+    example9,
+    example10,
+    example11,
+)
+from repro.programs.paper_examples import example1_variant_m
+
+
+def flow_by_status(result):
+    live = {(d.src.statement.label, d.dst.statement.label) for d in result.live_flow()}
+    dead = {(d.src.statement.label, d.dst.statement.label) for d in result.dead_flow()}
+    return live, dead
+
+
+class TestExample1Kill:
+    def test_first_write_killed(self):
+        result = analyze(example1())
+        live, dead = flow_by_status(result)
+        assert ("s1", "s3") in dead
+        assert ("s2", "s3") in live
+
+    def test_variant_with_m_not_killed(self):
+        result = analyze(example1_variant_m())
+        live, _dead = flow_by_status(result)
+        assert ("s1", "s3") in live  # cannot verify the kill
+
+    def test_variant_with_assertion_killed(self):
+        # "If n <= m <= n+10 had been asserted, we would verify the kill."
+        n = Variable("n", "sym")
+        m = Variable("m", "sym")
+        options = AnalysisOptions(assertions=(le(n, m), le(m, n + 10)))
+        result = analyze(example1_variant_m(), options)
+        _live, dead = flow_by_status(result)
+        assert ("s1", "s3") in dead
+
+
+class TestExample2Cover:
+    def test_cover_and_eliminations(self):
+        result = analyze(example2())
+        # s3 (write a(L2-1)) covers the read and stays live.
+        covering = [d for d in result.live_flow() if d.covers]
+        assert len(covering) == 1
+        assert covering[0].src.statement.label == "s3"
+        # The write before the nest (a(m)) is eliminated by the cover;
+        # the a(L1) write is eliminated too (cover or kill).
+        _live, dead = flow_by_status(result)
+        assert ("s1", "s4") in dead
+        assert ("s2", "s4") in dead
+
+    def test_cover_is_loop_independent_after_refinement(self):
+        result = analyze(example2())
+        (cover,) = [d for d in result.live_flow() if d.covers]
+        assert cover.refined
+        assert cover.is_loop_independent
+
+
+REFINEMENT_CASES = [
+    # (program factory, expected unrefined, expected refined, needs partial)
+    (example3, "(0+,1)", "(0,1)", False),
+    (example4, "(0+,1)", "(0,1)", False),
+    (example5, "(0+,1)", "(0:1,1)", True),
+    (example6, "(+,+)", "(1,1)", False),
+]
+
+
+class TestRefinementExamples:
+    @pytest.mark.parametrize(
+        "factory,unrefined,refined,needs_partial", REFINEMENT_CASES
+    )
+    def test_refined_vectors(self, factory, unrefined, refined, needs_partial):
+        result = analyze(factory(), AnalysisOptions(partial_refine=True))
+        (dep,) = result.live_flow()
+        assert dep.refined
+        assert ", ".join(str(v) for v in dep.unrefined_directions) == unrefined
+        assert dep.direction_text() == refined
+
+    def test_example5_without_partial_not_refined_to_exact(self):
+        result = analyze(example5(), AnalysisOptions(partial_refine=False))
+        (dep,) = result.live_flow()
+        # The exact fix (0,1) is invalid here; without range refinement the
+        # dependence keeps its unrefined vector.
+        assert dep.direction_text() == "(0+,1)"
+
+
+class TestExample7Symbolic:
+    def setup_method(self):
+        self.program = example7()
+        self.write = [a for a in self.program.writes() if a.array == "A"][0]
+        self.read = [a for a in self.program.reads() if a.array == "A"][0]
+        self.n = Variable("n", "sym")
+        self.x = Variable("x", "sym")
+        self.y = Variable("y", "sym")
+        self.m = Variable("m", "sym")
+
+    def conditions(self):
+        return dependence_conditions(
+            self.write,
+            self.read,
+            DependenceKind.FLOW,
+            assertions=[le(50, self.n), le(self.n, 100)],
+            array_bounds=self.program.array_bounds,
+            keep_syms=[self.x, self.y, self.m],
+        )
+
+    def test_two_restraint_vectors(self):
+        conds = self.conditions()
+        assert sorted(str(c.restraint) for c in conds) == ["(+,*)", "(0,+)"]
+
+    def test_outer_carried_condition_is_1_le_x_le_50(self):
+        conds = {str(c.restraint): c for c in self.conditions()}
+        text = format_problem(conds["(+,*)"].condition)
+        assert "x >= 1" in text
+        assert "50 >= x" in text
+
+    def test_inner_carried_condition_is_x0_and_y_lt_m(self):
+        conds = {str(c.restraint): c for c in self.conditions()}
+        text = format_problem(conds["(0,+)"].condition)
+        assert "x = 0" in text
+        assert "m >= y + 1" in text
+
+    def test_exactness_flags(self):
+        assert all(c.exact for c in self.conditions())
+
+
+class TestExample8IndexArrays:
+    def setup_method(self):
+        self.program = example8()
+        self.write = [a for a in self.program.writes() if a.array == "A"][0]
+        self.read = [a for a in self.program.reads() if a.array == "A"][0]
+
+    def test_output_query_text(self):
+        (query,) = generate_query(
+            self.write,
+            self.write,
+            DependenceKind.OUTPUT,
+            array_bounds=self.program.array_bounds,
+        )
+        text = query.render()
+        assert "Q[a] = Q[b]" in text
+        assert "never happens" in text
+        assert "b >= a + 1" in text  # 1 <= a < b <= n
+
+    def test_flow_query_text(self):
+        (query,) = generate_query(
+            self.write,
+            self.read,
+            DependenceKind.FLOW,
+            array_bounds=self.program.array_bounds,
+        )
+        text = query.render()
+        # Q[a] = Q[b] - 1 rendered with positive terms on both sides.
+        assert "Q[a] + 1 = Q[b]" in text
+
+    def test_permutation_rules_out_output_dependence(self):
+        registry = PropertyRegistry().declare("Q", ArrayProperty.PERMUTATION)
+        assert symbolic_dependence_exists(
+            self.write,
+            self.write,
+            DependenceKind.OUTPUT,
+            array_bounds=self.program.array_bounds,
+        )
+        assert not symbolic_dependence_exists(
+            self.write,
+            self.write,
+            DependenceKind.OUTPUT,
+            registry,
+            array_bounds=self.program.array_bounds,
+        )
+
+    def test_strictly_increasing_rules_out_output_dependence(self):
+        registry = PropertyRegistry().declare(
+            "Q", ArrayProperty.STRICTLY_INCREASING
+        )
+        assert not symbolic_dependence_exists(
+            self.write,
+            self.write,
+            DependenceKind.OUTPUT,
+            registry,
+            array_bounds=self.program.array_bounds,
+        )
+
+    def test_flow_dependence_survives_injectivity(self):
+        # Q[a] = Q[b] - 1 with a < b is consistent with injectivity.
+        registry = PropertyRegistry().declare("Q", ArrayProperty.INJECTIVE)
+        assert symbolic_dependence_exists(
+            self.write,
+            self.read,
+            DependenceKind.FLOW,
+            registry,
+            array_bounds=self.program.array_bounds,
+        )
+
+    def test_strictly_increasing_keeps_flow(self):
+        # Q increasing: Q[b] = Q[a] + 1 with b > a is still possible.
+        registry = PropertyRegistry().declare(
+            "Q", ArrayProperty.STRICTLY_INCREASING
+        )
+        assert symbolic_dependence_exists(
+            self.write,
+            self.read,
+            DependenceKind.FLOW,
+            registry,
+            array_bounds=self.program.array_bounds,
+        )
+
+
+class TestExamples9to11Parse:
+    """Examples 9-11 exercise the uninterpreted-term machinery end to end."""
+
+    def test_example9_index_array_in_bounds(self):
+        program = example9()
+        (write,) = program.writes()
+        # The loop bound B[i] becomes a uterm; dependence analysis still
+        # runs (conservatively).
+        result = analyze(program)
+        assert result.counts()["pairs"] >= 0
+
+    def test_example10_product_subscript(self):
+        program = example10()
+        (write,) = program.writes()
+        # Self-output dependence assumed without properties (i*j values
+        # can collide).
+        assert symbolic_dependence_exists(
+            write, write, DependenceKind.OUTPUT
+        )
+
+    def test_example11_scalar_subscripts(self):
+        program = example11()
+        result = analyze(program)
+        # a(k) := a(k) + ...: the write/read pair on `a` must be detected
+        # (conservatively) even though k is a mutated scalar.
+        pairs = {
+            (d.src.array, d.dst.array) for d in result.flow
+        }
+        assert ("a", "a") in pairs

@@ -1,0 +1,188 @@
+"""Tests for dependence problem construction."""
+
+import pytest
+
+from repro.analysis import (
+    SymbolTable,
+    build_pair_problem,
+    common_depth,
+    syntactically_forward,
+)
+from repro.ir import parse
+from repro.omega import Variable, is_satisfiable
+
+
+def access_pair(source, write_index=0, read_index=0, array=None):
+    program = parse(source)
+    writes = [w for w in program.writes() if array is None or w.array == array]
+    reads = [r for r in program.reads() if array is None or r.array == array]
+    return program, writes[write_index], reads[read_index]
+
+
+class TestStructural:
+    def test_common_depth_same_statement(self):
+        _p, w, r = access_pair("for i := 1 to n do a(i) := a(i-1)")
+        assert common_depth(w, r) == 1
+
+    def test_common_depth_disjoint_nests(self):
+        program = parse(
+            """
+            for i := 1 to n do a(i) :=
+            for i := 1 to n do := a(i)
+            """
+        )
+        w = program.writes()[0]
+        r = program.reads()[0]
+        assert common_depth(w, r) == 0
+
+    def test_common_depth_partial(self):
+        program = parse(
+            """
+            for i := 1 to n do {
+              for j := 1 to n do a(i, j) :=
+              for j := 1 to n do := a(i, j)
+            }
+            """
+        )
+        w = program.writes()[0]
+        r = program.reads()[0]
+        assert common_depth(w, r) == 1
+
+    def test_syntactic_forward_textual(self):
+        program = parse(
+            """
+            for i := 1 to n do {
+              a(i) :=
+              := a(i)
+            }
+            """
+        )
+        w = program.writes()[0]
+        r = program.reads()[0]
+        assert syntactically_forward(w, r)
+        assert not syntactically_forward(r, w)
+
+    def test_read_before_write_in_statement(self):
+        _p, w, r = access_pair("for i := 1 to n do a(i) := a(i)")
+        assert syntactically_forward(r, w)   # anti within the instance
+        assert not syntactically_forward(w, r)
+
+
+class TestPairProblem:
+    def test_delta_variables(self):
+        _p, w, r = access_pair(
+            "for i := 1 to n do for j := 1 to m do a(i, j) := a(i-1, j)"
+        )
+        pair = build_pair_problem(w, r)
+        assert len(pair.delta_vars) == 2
+        assert pair.depth == 2
+
+    def test_problem_encodes_subscript_equality(self):
+        _p, w, r = access_pair("for i := 1 to n do a(i) := a(i-1)")
+        pair = build_pair_problem(w, r)
+        full = pair.full()
+        assert is_satisfiable(full)
+        # d1 must equal 1 everywhere: d1 = 0 is unsatisfiable.
+        from repro.omega import Problem, eq
+
+        pinned = full.copy().add(eq(pair.delta_vars[0], 0))
+        assert not is_satisfiable(pinned)
+
+    def test_unsatisfiable_when_ranges_disjoint(self):
+        program = parse(
+            """
+            for i := 1 to 5 do a(i) :=
+            for i := 10 to 20 do := a(i)
+            """
+        )
+        pair = build_pair_problem(program.writes()[0], program.reads()[0])
+        assert not is_satisfiable(pair.full())
+
+    def test_symbolic_constants_shared(self):
+        _p, w, r = access_pair("for i := 1 to n do a(i) := a(i-1)")
+        symbols = SymbolTable()
+        pair = build_pair_problem(w, r, symbols)
+        n = Variable("n", "sym")
+        assert n in pair.domain.variables()
+
+    def test_max_lower_bounds_become_conjunction(self):
+        _p, w, r = access_pair(
+            "for i := max(1, k0) to n do a(i) := a(i-1)"
+        )
+        pair = build_pair_problem(w, r)
+        # i1 >= 1 and i1 >= k0 both present (as lower bounds on i1).
+        i1 = Variable("i1", "var")
+        lowers, _uppers = pair.src_ctx.domain.bounds_on(i1)
+        assert len(lowers) >= 2
+
+    def test_strided_loop_constraints(self):
+        _p, w, r = access_pair("for i := 1 to n step 3 do a(i) := a(i-3)")
+        pair = build_pair_problem(w, r)
+        full = pair.full()
+        assert is_satisfiable(full)
+        # Distance 3 feasible, distances 1 and 2 not.
+        from repro.omega import Problem, eq
+
+        for dist, expected in [(3, True), (1, False), (2, False)]:
+            trial = full.copy().add(eq(pair.delta_vars[0], dist))
+            assert is_satisfiable(trial) == expected
+
+    def test_in_bounds_constraints_from_declaration(self):
+        program = parse(
+            """
+            array A[1:n]
+            for i := 0 to n do A(i-5) := A(i)
+            """
+        )
+        pair = build_pair_problem(
+            program.writes()[0],
+            program.reads()[0],
+            array_bounds=program.array_bounds,
+        )
+        # Write subscript i-5 must lie in [1, n]: i1 >= 6.
+        from repro.omega import Problem, le
+
+        trial = pair.domain.copy().add(le(Variable("i1", "var"), 5))
+        assert not is_satisfiable(trial)
+
+    def test_uterm_occurrences_recorded(self):
+        program = parse("for i := 1 to n do a(Q(i)) := a(Q(i+1)-1)")
+        pair = build_pair_problem(program.writes()[0], program.reads()[0])
+        occurrences = pair.occurrences()
+        assert len(occurrences) == 2
+        assert {occ.term.name for occ in occurrences} == {"Q"}
+        assert all(len(occ.arg_vars) == 1 for occ in occurrences)
+
+    def test_uterm_memoization_within_instance(self):
+        program = parse(
+            """
+            array a[1:n]
+            for i := 1 to n do a(Q(i)) := a(Q(i))
+            """
+        )
+        w = program.writes()[0]
+        r = program.reads()[0]
+        pair = build_pair_problem(w, r, array_bounds=program.array_bounds)
+        # One occurrence per side despite Q(i) appearing in coupling and
+        # in the in-bounds constraints.
+        sides = [occ.value_var.name[0] for occ in pair.occurrences()]
+        assert sorted(sides) == ["i", "j"]
+
+    def test_rank_mismatch_rejected(self):
+        program = parse(
+            """
+            for i := 1 to n do a(i) :=
+            for i := 1 to n do := a(i, i)
+            """
+        )
+        from repro.ir import IRError
+
+        with pytest.raises(IRError):
+            build_pair_problem(program.writes()[0], program.reads()[0])
+
+    def test_different_arrays_rejected(self):
+        program = parse("for i := 1 to n do a(i) := b(i)")
+        from repro.ir import IRError
+
+        with pytest.raises(IRError):
+            build_pair_problem(program.writes()[0], program.reads()[0])

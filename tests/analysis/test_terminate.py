@@ -1,0 +1,99 @@
+"""Terminating dependences (Section 4.3) as an elimination mechanism."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisOptions,
+    DependenceKind,
+    DependenceStatus,
+    analyze,
+)
+from repro.ir import parse
+
+FULL_OVERWRITE = """
+for i := 1 to n do a(i) := b(i)
+for i := 1 to n do a(i) := c(i)
+for i := 1 to n do := a(i)
+"""
+
+
+class TestTerminators:
+    def test_terminator_kills_later_flow(self):
+        # Disable cover and pairwise kills so termination is the only
+        # mechanism in play.
+        result = analyze(
+            parse(FULL_OVERWRITE),
+            AnalysisOptions(terminate=True, cover=False, kill=False),
+        )
+        by_pair = {
+            (d.src.statement.label, d.dst.statement.label): d
+            for d in result.flow
+        }
+        dead = by_pair[("s1", "s3")]
+        assert dead.status is DependenceStatus.KILLED
+        assert dead.eliminated_by is not None
+        assert dead.eliminated_by.kind is DependenceKind.OUTPUT
+        assert by_pair[("s2", "s3")].status is DependenceStatus.LIVE
+
+    def test_partial_overwrite_does_not_terminate(self):
+        result = analyze(
+            parse(
+                """
+                for i := 1 to n do a(i) := b(i)
+                for i := 2 to n do a(i) := c(i)
+                for i := 1 to n do := a(i)
+                """
+            ),
+            AnalysisOptions(terminate=True, cover=False, kill=False),
+        )
+        by_pair = {
+            (d.src.statement.label, d.dst.statement.label): d
+            for d in result.flow
+        }
+        assert by_pair[("s1", "s3")].status is DependenceStatus.LIVE
+
+    def test_terminator_needs_read_after_overwriter(self):
+        # The read happens before the overwriting sweep: nothing killed.
+        result = analyze(
+            parse(
+                """
+                for i := 1 to n do a(i) := b(i)
+                for i := 1 to n do := a(i)
+                for i := 1 to n do a(i) := c(i)
+                """
+            ),
+            AnalysisOptions(terminate=True, cover=False, kill=False),
+        )
+        by_pair = {
+            (d.src.statement.label, d.dst.statement.label): d
+            for d in result.flow
+        }
+        assert by_pair[("s1", "s2")].status is DependenceStatus.LIVE
+
+    def test_disabled_by_default(self):
+        result = analyze(
+            parse(FULL_OVERWRITE), AnalysisOptions(cover=False, kill=False)
+        )
+        by_pair = {
+            (d.src.statement.label, d.dst.statement.label): d
+            for d in result.flow
+        }
+        # With terminate/cover/kill all off nothing is eliminated.
+        assert by_pair[("s1", "s3")].status is DependenceStatus.LIVE
+
+    def test_agrees_with_kill_analysis(self):
+        # Termination and pairwise killing must reach the same verdict on
+        # the full-overwrite kernel.
+        kill_result = analyze(parse(FULL_OVERWRITE), AnalysisOptions())
+        term_result = analyze(
+            parse(FULL_OVERWRITE),
+            AnalysisOptions(terminate=True, cover=False, kill=False),
+        )
+
+        def dead_pairs(result):
+            return {
+                (d.src.statement.label, d.dst.statement.label)
+                for d in result.dead_flow()
+            }
+
+        assert dead_pairs(kill_result) == dead_pairs(term_result)

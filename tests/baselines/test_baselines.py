@@ -1,0 +1,233 @@
+"""Baseline dependence test suite."""
+
+import pytest
+
+from repro.baselines import (
+    baseline_dependences,
+    combined_test,
+    compare_with_omega,
+)
+from repro.baselines.banerjee import banerjee_directions, banerjee_test
+from repro.baselines.common import (
+    DimensionProblem,
+    VarRange,
+    Verdict,
+    constant_loop_ranges,
+    dimension_problems,
+)
+from repro.baselines.gcdtest import gcd_test
+from repro.baselines.siv import siv_test
+from repro.baselines.ziv import ziv_test
+from repro.ir import parse
+
+
+def dims_for(source):
+    program = parse(source)
+    w, r = program.writes()[0], program.reads()[0]
+    return program, w, r, dimension_problems(w, r)
+
+
+class TestZIV:
+    def test_distinct_constants_disprove(self):
+        _p, _w, _r, dims = dims_for(
+            """
+            a(1) :=
+            := a(2)
+            """
+        )
+        assert ziv_test(dims[0]) is Verdict.NO
+
+    def test_equal_constants_maybe(self):
+        _p, _w, _r, dims = dims_for(
+            """
+            a(1) :=
+            := a(1)
+            """
+        )
+        assert ziv_test(dims[0]) is Verdict.MAYBE
+
+    def test_matching_symbolic_terms_cancel(self):
+        # a(n) vs a(n+1): the shared symbol cancels; ZIV disproves exactly.
+        _p, _w, _r, dims = dims_for(
+            """
+            a(n) :=
+            := a(n+1)
+            """
+        )
+        assert ziv_test(dims[0]) is Verdict.NO
+
+    def test_distinct_symbols_maybe(self):
+        _p, _w, _r, dims = dims_for(
+            """
+            a(n) :=
+            := a(m)
+            """
+        )
+        assert ziv_test(dims[0]) is Verdict.MAYBE
+
+    def test_loop_variable_dimension_not_its_business(self):
+        _p, _w, _r, dims = dims_for("for i := 1 to n do a(i) := a(i-1)")
+        assert ziv_test(dims[0]) is Verdict.MAYBE
+
+
+class TestGCD:
+    def test_divisibility_disproof(self):
+        _p, _w, _r, dims = dims_for(
+            "for i := 1 to n do a(2*i) := a(2*i+1)"
+        )
+        assert gcd_test(dims[0]) is Verdict.NO
+
+    def test_divisible_maybe(self):
+        _p, _w, _r, dims = dims_for(
+            "for i := 1 to n do a(2*i) := a(2*i+2)"
+        )
+        assert gcd_test(dims[0]) is Verdict.MAYBE
+
+    def test_mixed_coefficients(self):
+        # 2i - 6j + 3 = 0: gcd 2 does not divide 3.
+        _p, _w, _r, dims = dims_for(
+            "for i := 1 to n do for j := 1 to n do a(2*i) := a(6*j + 3)"
+        )
+        assert gcd_test(dims[0]) is Verdict.NO
+
+    def test_symbolic_coefficient_maybe(self):
+        _p, _w, _r, dims = dims_for(
+            "for i := 1 to n do a(2*i) := a(2*i + n)"
+        )
+        assert gcd_test(dims[0]) is Verdict.MAYBE
+
+
+class TestSIV:
+    def test_strong_siv_fractional_distance(self):
+        _p, w, r, dims = dims_for(
+            "for i := 1 to 10 do a(2*i) := a(2*i-1)"
+        )
+        ranges = constant_loop_ranges(w)
+        assert siv_test(dims[0], ["i"], ranges) is Verdict.NO
+
+    def test_strong_siv_distance_exceeds_range(self):
+        _p, w, r, dims = dims_for(
+            "for i := 1 to 5 do a(i) := a(i-100)"
+        )
+        ranges = constant_loop_ranges(w)
+        assert siv_test(dims[0], ["i"], ranges) is Verdict.NO
+
+    def test_strong_siv_feasible(self):
+        _p, w, r, dims = dims_for("for i := 1 to 10 do a(i) := a(i-1)")
+        ranges = constant_loop_ranges(w)
+        assert siv_test(dims[0], ["i"], ranges) is Verdict.MAYBE
+
+    def test_weak_zero_out_of_range(self):
+        _p, w, r, dims = dims_for("for i := 1 to 5 do a(i) := a(9)")
+        ranges = constant_loop_ranges(w)
+        assert siv_test(dims[0], ["i"], ranges) is Verdict.NO
+
+    def test_weak_zero_in_range(self):
+        _p, w, r, dims = dims_for("for i := 1 to 5 do a(i) := a(3)")
+        ranges = constant_loop_ranges(w)
+        assert siv_test(dims[0], ["i"], ranges) is Verdict.MAYBE
+
+
+class TestBanerjee:
+    def test_refutes_far_offset(self):
+        _p, w, r, dims = dims_for(
+            "for i := 1 to 10 do a(i) := a(i + 100)"
+        )
+        ranges = constant_loop_ranges(w)
+        directions = banerjee_directions(dims, ["i"], ranges)
+        assert directions == []
+
+    def test_direction_hierarchy(self):
+        _p, w, r, dims = dims_for("for i := 1 to 10 do a(i) := a(i-1)")
+        ranges = constant_loop_ranges(w)
+        directions = banerjee_directions(dims, ["i"], ranges)
+        # i_src = i_dst - 1: only "<" survives.
+        assert directions == [{"i": "<"}]
+
+    def test_equal_direction_for_same_subscript(self):
+        _p, w, r, dims = dims_for("for i := 1 to 10 do a(i) := a(i)")
+        ranges = constant_loop_ranges(w)
+        directions = banerjee_directions(dims, ["i"], ranges)
+        assert {"i": "="} in directions
+        assert {"i": "<"} not in directions
+
+    def test_single_trip_loop_refutes_carried(self):
+        _p, w, r, dims = dims_for("for i := 3 to 3 do a(i) := a(i-1)")
+        ranges = constant_loop_ranges(w)
+        assert banerjee_test(dims[0], {"i": "<"}, ranges) is Verdict.NO
+
+    def test_unbounded_loop_conservative(self):
+        _p, w, r, dims = dims_for("for i := 1 to n do a(i) := a(i+5)")
+        ranges = constant_loop_ranges(w)
+        directions = banerjee_directions(dims, ["i"], ranges)
+        assert directions  # cannot refute with open ranges
+
+
+class TestCombined:
+    def test_no_dependence_between_disjoint_strides(self):
+        program = parse(
+            """
+            for i := 1 to n do a(2*i) :=
+            for i := 1 to n do := a(2*i+1)
+            """
+        )
+        verdict, _dirs = combined_test(program.writes()[0], program.reads()[0])
+        assert verdict is Verdict.NO
+
+    def test_detects_plain_flow(self):
+        program = parse("for i := 1 to n do a(i) := a(i-1)")
+        verdict, dirs = combined_test(program.writes()[0], program.reads()[0])
+        assert verdict is Verdict.MAYBE
+        assert dirs
+
+    def test_different_arrays_no(self):
+        program = parse("for i := 1 to n do a(i) := b(i)")
+        verdict, _ = combined_test(program.writes()[0], program.reads()[0])
+        assert verdict is Verdict.NO
+
+
+class TestWholeProgram:
+    def test_baseline_reports_killed_dependences_as_real(self):
+        # The paper's motivating claim, on Example 1: the baseline sees 2
+        # flow sources for the read; the Omega analysis kills one.
+        from repro.programs import example1
+
+        counts = compare_with_omega(example1())
+        assert counts["baseline"] == 2
+        assert counts["omega_live"] == 1
+
+    def test_baseline_never_below_omega_live(self):
+        from repro.programs import (
+            example2,
+            example3,
+            example6,
+        )
+
+        for factory in (example2, example3, example6):
+            counts = compare_with_omega(factory())
+            assert counts["baseline"] >= counts["omega_live"]
+
+    def test_baseline_soundness_against_interpreter(self):
+        # Everything that actually flows must be reported by the baseline.
+        from repro.ir import run_program, value_based_flows
+        from repro.programs import corpus_programs
+
+        defaults = dict(
+            n=4, m=5, w=1, steps=2, N=3, M=2, NMAT=1, NRHS=1, EPS=1, s=2,
+            maxB=2, x=1, y=2,
+        )
+        for program in corpus_programs():
+            if program.name == "CHOLSKY":
+                continue  # covered separately (slow)
+            symbols = {
+                name: defaults.get(name, 2)
+                for name in program.symbolic_constants
+            }
+            reported = set(baseline_dependences(program).flow_pairs)
+            trace = run_program(program, symbols)
+            for flow in value_based_flows(trace):
+                assert (flow.source, flow.destination) in reported, (
+                    program.name,
+                    str(flow.source),
+                    str(flow.destination),
+                )

@@ -1,0 +1,98 @@
+"""Cross-validation: the baselines' NO answers must agree with the exact
+Omega analysis (a classical test may only refute dependences the Omega
+test also refutes), on randomized access pairs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import DependenceKind, compute_dependences
+from repro.baselines import combined_test
+from repro.baselines.common import Verdict
+from repro.ir import parse
+
+
+@st.composite
+def access_pair_programs(draw):
+    """One write and one read of `a` with random affine 1-D subscripts."""
+
+    def subscript(var):
+        stride = draw(st.integers(1, 3))
+        shift = draw(st.integers(-4, 4))
+        text = f"{stride}*{var}" if stride > 1 else var
+        if shift > 0:
+            text += f"+{shift}"
+        elif shift < 0:
+            text += str(shift)
+        return text
+
+    lo1 = draw(st.integers(0, 3))
+    hi1 = draw(st.integers(4, 9))
+    lo2 = draw(st.integers(0, 3))
+    hi2 = draw(st.integers(4, 9))
+    same_nest = draw(st.booleans())
+    if same_nest:
+        return (
+            f"for i := {lo1} to {hi1} do "
+            f"a({subscript('i')}) := a({subscript('i')})"
+        )
+    return (
+        f"for i := {lo1} to {hi1} do a({subscript('i')}) :=\n"
+        f"for i := {lo2} to {hi2} do := a({subscript('i')})"
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(access_pair_programs())
+def test_baseline_no_implies_omega_no(source):
+    program = parse(source)
+    write = program.writes()[0]
+    read = program.reads()[0]
+    verdict, _directions = combined_test(write, read)
+    if verdict is Verdict.NO:
+        flow = compute_dependences(write, read, DependenceKind.FLOW)
+        anti = compute_dependences(read, write, DependenceKind.ANTI)
+        assert not flow and not anti, (
+            f"baseline refuted a dependence the Omega test finds:\n{source}"
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(access_pair_programs())
+def test_omega_dependence_within_baseline_directions(source):
+    """When both find a dependence, every Omega direction must be admitted
+    by some surviving Banerjee direction vector."""
+
+    program = parse(source)
+    write = program.writes()[0]
+    read = program.reads()[0]
+    verdict, directions = combined_test(write, read)
+    deps = compute_dependences(write, read, DependenceKind.FLOW)
+    if not deps:
+        return
+    assert verdict is Verdict.MAYBE
+    if not directions:
+        return
+    common = [
+        loop.var
+        for loop, other in zip(write.statement.loops, read.statement.loops)
+        if loop is other
+    ]
+    if not common:
+        return
+    allowed = set()
+    for direction in directions:
+        allowed.add(tuple(direction[v] for v in common))
+    for dep in deps:
+        for vector in dep.directions:
+            for component, var in zip(vector, common):
+                # Each omega component's sign possibilities must appear in
+                # some baseline direction at this level.
+                signs = set()
+                if component.admits_sign(-1):
+                    signs.add(">")
+                if component.admits(0):
+                    signs.add("=")
+                if component.admits_sign(1):
+                    signs.add("<")
+                baseline_signs = {d[common.index(var)] for d in allowed}
+                assert signs & baseline_signs, (source, str(vector))

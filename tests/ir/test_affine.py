@@ -1,0 +1,109 @@
+"""Tests for IR-level affine expressions and uninterpreted terms."""
+
+import pytest
+
+from repro.ir import AffineExpr, UTerm, affine, uterm_ref, var
+
+
+class TestAffineExprBasics:
+    def test_var(self):
+        e = var("i")
+        assert e.coeff("i") == 1
+        assert e.is_affine
+
+    def test_coerce_int(self):
+        e = affine(5)
+        assert e.is_constant
+        assert e.constant == 5
+
+    def test_coerce_str(self):
+        assert affine("n").coeff("n") == 1
+
+    def test_coerce_invalid(self):
+        with pytest.raises(TypeError):
+            affine(3.14)
+
+    def test_arith(self):
+        e = 2 * var("i") - var("j") + 3
+        assert e.coeff("i") == 2
+        assert e.coeff("j") == -1
+        assert e.constant == 3
+
+    def test_cancellation(self):
+        e = var("i") - var("i")
+        assert e.is_constant
+        assert e.constant == 0
+
+    def test_names(self):
+        e = var("i") + var("n") + 1
+        assert e.names() == {"i", "n"}
+
+    def test_str(self):
+        assert str(var("i") - 1) == "i-1"
+        assert str(affine(0)) == "0"
+
+
+class TestUTerms:
+    def test_array_uterm(self):
+        e = uterm_ref("Q", var("L1") + 1) - 1
+        assert not e.is_affine
+        assert e.constant == -1
+        ((coeff, term),) = e.uterms
+        assert coeff == 1
+        assert term.name == "Q"
+        assert term.kind == "array"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            UTerm("Q", (), "bogus")
+
+    def test_product_from_multiplication(self):
+        e = var("i") * var("j")
+        ((coeff, term),) = e.uterms
+        assert term.kind == "product"
+        assert coeff == 1
+
+    def test_constant_times_var_stays_affine(self):
+        e = 3 * var("i")
+        assert e.is_affine
+
+    def test_uterm_merging(self):
+        q = uterm_ref("Q", var("i"))
+        e = q + q
+        ((coeff, _term),) = e.uterms
+        assert coeff == 2
+
+    def test_uterm_cancellation(self):
+        q = uterm_ref("Q", var("i"))
+        assert (q - q).is_affine
+
+    def test_all_names_includes_nested(self):
+        e = uterm_ref("Q", var("L1") + var("n"))
+        assert e.all_names() == {"L1", "n"}
+        assert e.names() == frozenset()
+
+    def test_referenced_arrays(self):
+        e = uterm_ref("Q", uterm_ref("P", var("i")))
+        assert e.referenced_arrays() == {"Q", "P"}
+
+    def test_product_referenced_arrays(self):
+        e = var("i") * uterm_ref("a", var("i"))
+        assert "a" in e.referenced_arrays()
+
+    def test_substitute_name(self):
+        e = var("i") + uterm_ref("Q", var("i"))
+        sub = e.substitute_name("i", var("j") + 1)
+        assert sub.coeff("j") == 1
+        assert sub.constant == 1
+        ((_c, term),) = sub.uterms
+        assert term.args[0] == var("j") + 1
+
+    def test_str_forms(self):
+        assert str(uterm_ref("Q", var("i"))) == "Q[i]"
+        assert "*" in str(var("i") * var("j"))
+
+    def test_equality_and_hash(self):
+        a = uterm_ref("Q", var("i"))
+        b = uterm_ref("Q", var("i"))
+        assert a == b
+        assert hash(a) == hash(b)

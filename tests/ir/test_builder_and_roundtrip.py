@@ -1,0 +1,139 @@
+"""Builder API tests and randomized printer round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    IRError,
+    ProgramBuilder,
+    parse,
+    run_program,
+    to_text,
+    value_based_flows,
+)
+
+
+class TestBuilder:
+    def test_simple_loop(self):
+        b = ProgramBuilder("t")
+        with b.loop("i", 1, "n"):
+            b.assign(b.ref("a", b.v("i")), b.read("a", b.v("i") - 1))
+        program = b.build()
+        assert len(program.statements) == 1
+        assert program.statements[0].loop_vars == ("i",)
+
+    def test_nested_loops(self):
+        b = ProgramBuilder()
+        with b.loop("i", 1, "n"):
+            with b.loop("j", 1, "m"):
+                b.write("a", b.v("i"), b.v("j"))
+        program = b.build()
+        assert program.statements[0].loop_vars == ("i", "j")
+
+    def test_max_min_bounds(self):
+        b = ProgramBuilder()
+        with b.loop("i", None, None, lowers=[1, "k0"], uppers=["n", "m"]):
+            b.write("a", b.v("i"))
+        program = b.build()
+        loop = program.loops()[0]
+        assert len(loop.lowers) == 2
+        assert len(loop.uppers) == 2
+
+    def test_read_and_write_stmt_helpers(self):
+        b = ProgramBuilder()
+        with b.loop("i", 1, 5):
+            b.write("a", b.v("i"))
+            b.read_stmt("a", b.v("i") - 1)
+        program = b.build()
+        assert len(program.writes()) == 1
+        assert len(program.reads()) == 1
+
+    def test_labels(self):
+        b = ProgramBuilder()
+        b.write("a", 1, label="mine")
+        program = b.build()
+        assert program.statements[0].label == "mine"
+
+    def test_unclosed_loop_detected(self):
+        b = ProgramBuilder()
+        cm = b.loop("i", 1, 5)
+        cm.__enter__()
+        with pytest.raises(IRError):
+            b.build()
+
+    def test_builder_output_round_trips(self):
+        b = ProgramBuilder("rt")
+        with b.loop("i", 1, "n"):
+            b.assign(
+                b.ref("a", 2 * b.v("i") + 1),
+                b.read("a", 2 * b.v("i") - 1) + b.read("b", b.v("i")),
+            )
+        program = b.build()
+        reparsed = parse(to_text(program))
+        assert to_text(reparsed) == to_text(program)
+
+
+# ---------------------------------------------------------------------------
+# Randomized round-trip and semantic-preservation tests
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_sources(draw):
+    lines = []
+    for _index in range(draw(st.integers(1, 3))):
+        depth = draw(st.integers(1, 2))
+        lo = draw(st.integers(1, 3))
+        hi = draw(st.integers(3, 6))
+        stride = draw(st.sampled_from([1, 2, 3]))
+        shift = draw(st.integers(-3, 3))
+        sub = f"{stride}*i" if stride > 1 else "i"
+        sub += f"+{shift}" if shift >= 0 else str(shift)
+        rsub = "i" if draw(st.booleans()) else "i-1"
+        body = draw(
+            st.sampled_from(
+                [
+                    f"a({sub}) := a({rsub})",
+                    f"a({sub}) :=",
+                    f":= a({sub})",
+                    f"a({sub}) := b(i) + 2*a({rsub})",
+                ]
+            )
+        )
+        if depth == 1:
+            lines.append(f"for i := {lo} to {hi} do {body}")
+        else:
+            lines.append(
+                f"for t := 1 to 2 do for i := {lo} to {hi} do {body}"
+            )
+    return "\n".join(lines)
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_sources())
+def test_print_parse_round_trip_is_stable(source):
+    program = parse(source)
+    once = to_text(program)
+    twice = to_text(parse(once))
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_sources())
+def test_round_trip_preserves_semantics(source):
+    program = parse(source)
+    reparsed = parse(to_text(program))
+    trace1 = run_program(program, {})
+    trace2 = run_program(reparsed, {})
+    seq1 = [(e.address, e.is_write) for e in trace1.events]
+    seq2 = [(e.address, e.is_write) for e in trace2.events]
+    assert seq1 == seq2
+    flows1 = {
+        (str(f.source), str(f.destination), f.distance)
+        for f in value_based_flows(trace1)
+    }
+    flows2 = {
+        (str(f.source), str(f.destination), f.distance)
+        for f in value_based_flows(trace2)
+    }
+    assert flows1 == flows2

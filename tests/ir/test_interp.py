@@ -1,0 +1,174 @@
+"""Interpreter and ground-truth oracle tests."""
+
+import pytest
+
+from repro.ir import (
+    IRError,
+    ProgramBuilder,
+    memory_based_flows,
+    parse,
+    run_program,
+    value_based_flows,
+)
+
+EXAMPLE3 = """
+for L1 := 1 to n do
+  for L2 := 2 to m do
+    a(L2) := a(L2-1)
+"""
+
+
+class TestInterpreterBasics:
+    def test_event_count(self):
+        program = parse(EXAMPLE3)
+        trace = run_program(program, {"n": 3, "m": 4})
+        # 3 * 3 iterations, one read and one write each.
+        assert len(trace.events) == 18
+        assert len(list(trace.writes())) == 9
+
+    def test_missing_symbol_raises(self):
+        program = parse(EXAMPLE3)
+        with pytest.raises(IRError):
+            run_program(program, {"n": 3})
+
+    def test_read_before_write_within_statement(self):
+        program = parse("for i := 1 to n do a(i) := a(i)")
+        trace = run_program(program, {"n": 2})
+        kinds = [e.is_write for e in trace.events]
+        assert kinds == [False, True, False, True]
+
+    def test_empty_loop_runs_zero_times(self):
+        program = parse("for i := 5 to 1 do a(i) :=")
+        trace = run_program(program, {})
+        assert trace.events == []
+
+    def test_max_min_bounds(self):
+        program = parse("for i := max(2, lo) to min(5, hi) do a(i) :=")
+        trace = run_program(program, {"lo": 0, "hi": 9})
+        assert [e.iteration for e in trace.events] == [(2,), (3,), (4,), (5,)]
+
+    def test_step(self):
+        program = parse("for i := 1 to 7 step 3 do a(i) :=")
+        trace = run_program(program, {})
+        assert [e.iteration[0] for e in trace.events] == [1, 4, 7]
+
+    def test_addresses(self):
+        program = parse("for i := 1 to 3 do a(2*i) :=")
+        trace = run_program(program, {})
+        assert [e.address for e in trace.events] == [
+            ("a", (2,)),
+            ("a", (4,)),
+            ("a", (6,)),
+        ]
+
+    def test_scalar_address_is_empty_tuple(self):
+        program = parse("k := 1")
+        trace = run_program(program, {})
+        assert trace.events[0].address == ("k", ())
+
+    def test_mutated_scalar_subscripts(self):
+        # k starts from memory default; we initialize via a first statement.
+        program = parse(
+            """
+            k := 0
+            for i := 1 to 3 do {
+              a(k) := 1
+              k := k + 1
+            }
+            """
+        )
+        trace = run_program(program, {})
+        a_writes = [e for e in trace.events if e.address[0] == "a" and e.is_write]
+        assert [e.address[1] for e in a_writes] == [(0,), (1,), (2,)]
+
+    def test_index_array_from_memory(self):
+        program = parse("for i := 1 to 3 do a(Q(i)) := 1")
+        trace = run_program(
+            program,
+            {},
+            initial=lambda addr: addr[1][0] * 10 if addr[0] == "Q" else 0,
+        )
+        writes = [e for e in trace.events if e.is_write]
+        assert [e.address[1] for e in writes] == [(10,), (20,), (30,)]
+
+
+class TestFlowOracles:
+    def test_example3_value_flows_have_distance_01(self):
+        program = parse(EXAMPLE3)
+        trace = run_program(program, {"n": 4, "m": 5})
+        flows = value_based_flows(trace)
+        # Writes at iteration (l1, l2) are read at (l1, l2+1): distance (0,1)
+        distances = {f.distance for f in flows}
+        assert distances == {(0, 1)}
+
+    def test_example3_memory_flows_include_cross_outer(self):
+        program = parse(EXAMPLE3)
+        trace = run_program(program, {"n": 4, "m": 5})
+        flows = memory_based_flows(trace)
+        distances = {f.distance for f in flows}
+        assert (0, 1) in distances
+        # Without the intervening-write criterion, the write from earlier
+        # outer iterations also "reaches" later reads.
+        assert any(d[0] > 0 for d in distances)
+
+    def test_value_flows_subset_of_memory_flows(self):
+        program = parse(EXAMPLE3)
+        trace = run_program(program, {"n": 3, "m": 4})
+        assert value_based_flows(trace) <= memory_based_flows(trace)
+
+    def test_kill_example1(self):
+        # Paper Example 1: the write a(L1) kills the flow from a(n).
+        program = parse(
+            """
+            a(n) :=
+            for L1 := n to n+10 do a(L1) :=
+            for L1 := n to n+20 do := a(L1)
+            """
+        )
+        trace = run_program(program, {"n": 0})
+        flows = value_based_flows(trace)
+        first_write = program.statements[0]
+        assert not any(f.source.statement is first_write for f in flows)
+        mem = memory_based_flows(trace)
+        assert any(f.source.statement is first_write for f in mem)
+
+    def test_no_kill_when_first_write_outside_covered_range(self):
+        # Variant: first write to a(m) with m outside [n, n+10].
+        program = parse(
+            """
+            a(m) :=
+            for L1 := n to n+10 do a(L1) :=
+            for L1 := n to n+20 do := a(L1)
+            """
+        )
+        trace = run_program(program, {"n": 0, "m": 15})
+        flows = value_based_flows(trace)
+        first_write = program.statements[0]
+        assert any(f.source.statement is first_write for f in flows)
+
+    def test_loop_independent_flow(self):
+        program = parse(
+            """
+            for i := 1 to n do {
+              a(i) := 1
+              b(i) := a(i)
+            }
+            """
+        )
+        trace = run_program(program, {"n": 3})
+        flows = value_based_flows(trace)
+        a_flows = {f.distance for f in flows if f.source.array == "a"}
+        assert a_flows == {(0,)}
+
+    def test_builder_program_interpretation(self):
+        b = ProgramBuilder("built")
+        with b.loop("i", 1, 4):
+            b.assign(b.ref("a", b.v("i")), b.read("a", b.v("i") - 1))
+        trace = run_program(b.build(), {})
+        assert {f.distance for f in value_based_flows(trace)} == {(1,)}
+
+    def test_product_evaluation(self):
+        program = parse("for i := 2 to 3 do for j := 2 to 3 do a(i*j) := 1")
+        trace = run_program(program, {})
+        addresses = [e.address[1][0] for e in trace.events if e.is_write]
+        assert addresses == [4, 6, 6, 9]

@@ -1,0 +1,236 @@
+"""Parser, printer and Program structure tests."""
+
+import pytest
+
+from repro.ir import (
+    IRError,
+    LexError,
+    Loop,
+    ParseError,
+    Program,
+    Statement,
+    parse,
+    to_text,
+    tokenize,
+)
+
+EXAMPLE3 = """
+for L1 := 1 to n do
+  for L2 := 2 to m do
+    a(L2) := a(L2-1)
+"""
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("for i := 1 to n do")]
+        assert kinds == ["FOR", "IDENT", "ASSIGN", "INT", "TO", "IDENT", "DO", "EOF"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a := 1 // comment\n# another\nb := 2")
+        idents = [t.text for t in tokens if t.kind == "IDENT"]
+        assert idents == ["a", "b"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a := @")
+
+
+class TestParserStructure:
+    def test_simple_nest(self):
+        program = parse(EXAMPLE3, "example3")
+        assert len(program.statements) == 1
+        stmt = program.statements[0]
+        assert stmt.loop_vars == ("L1", "L2")
+        assert stmt.target.array == "a"
+        assert program.symbolic_constants == {"n", "m"}
+
+    def test_braces_for_multi_statement_bodies(self):
+        program = parse(
+            """
+            for i := 1 to n do {
+              a(i) := b(i)
+              c(i) := a(i)
+            }
+            """
+        )
+        assert len(program.statements) == 2
+        assert program.statements[0].loop_vars == ("i",)
+
+    def test_sequential_top_level(self):
+        program = parse("a(n) :=\nfor i := n to n+10 do a(i) :=")
+        assert len(program.statements) == 2
+        assert program.statements[0].loops == ()
+
+    def test_pure_read_statement(self):
+        program = parse("for i := 1 to n do := a(i)")
+        stmt = program.statements[0]
+        assert stmt.target is None
+        assert len(stmt.reads()) == 1
+
+    def test_pure_write_statement(self):
+        program = parse("a(n) :=")
+        stmt = program.statements[0]
+        assert stmt.target is not None
+        assert stmt.reads() == []
+
+    def test_max_min_bounds(self):
+        program = parse(
+            "for i := max(-m, -j) to -1 do a(i) := a(i+1)"
+        )
+        loop = program.loops()[0]
+        assert len(loop.lowers) == 2
+        assert len(loop.uppers) == 1
+
+    def test_max_in_upper_bound_rejected(self):
+        with pytest.raises(ParseError):
+            parse("for i := 1 to max(n, m) do a(i) :=")
+
+    def test_min_in_lower_bound_rejected(self):
+        with pytest.raises(ParseError):
+            parse("for i := min(1, n) to 5 do a(i) :=")
+
+    def test_step(self):
+        program = parse("for i := 1 to n step 2 do a(i) :=")
+        assert program.loops()[0].step == 2
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ParseError):
+            parse("for i := n to 1 step -1 do a(i) :=")
+
+    def test_positions_are_textual_order(self):
+        program = parse(
+            """
+            for i := 1 to n do {
+              a(i) := b(i)
+              c(i) := a(i)
+            }
+            d(1) := c(1)
+            """
+        )
+        positions = [s.position for s in program.statements]
+        assert positions == [0, 1, 2]
+
+    def test_labels_assigned(self):
+        program = parse(EXAMPLE3)
+        assert program.statements[0].label == "s1"
+
+    def test_statement_lookup(self):
+        program = parse(EXAMPLE3)
+        assert program.statement("s1") is program.statements[0]
+        with pytest.raises(KeyError):
+            program.statement("nope")
+
+    def test_syntax_error_reports_location(self):
+        with pytest.raises(ParseError) as err:
+            parse("for := 1 to n do a(i) :=")
+        assert "line 1" in str(err.value)
+
+
+class TestExpressions:
+    def test_subscript_arithmetic(self):
+        program = parse("for i := 1 to n do a(2*i+1) := a(2*i-1)")
+        write = program.statements[0].target
+        assert write.subscripts[0].coeff("i") == 2
+        assert write.subscripts[0].constant == 1
+
+    def test_multi_dimensional(self):
+        program = parse("for i := 1 to n do for j := 1 to m do a(i, j) := a(i-1, j+1)")
+        write = program.statements[0].target
+        assert len(write.subscripts) == 2
+
+    def test_index_array_brackets(self):
+        program = parse("for i := 1 to n do a[Q[i]] := a[Q[i+1]-1] + c[i]")
+        stmt = program.statements[0]
+        reads = stmt.reads()
+        arrays = sorted(r.array for r in reads)
+        # Q read twice (in both subscripts), a and c once each.
+        assert arrays == ["Q", "Q", "a", "c"]
+
+    def test_product_subscript(self):
+        program = parse("for i := 1 to n do for j := 1 to n do a(i*j) :=")
+        write = program.statements[0].target
+        assert not write.subscripts[0].is_affine
+        ((_c, term),) = write.subscripts[0].uterms
+        assert term.kind == "product"
+
+    def test_mutated_scalar_becomes_scalar_uterm(self):
+        program = parse(
+            """
+            for i := 1 to n do {
+              a(k) := a(k) + bb(i)
+              k := k + i
+            }
+            """
+        )
+        first = program.statements[0]
+        sub = first.target.subscripts[0]
+        assert not sub.is_affine
+        ((_c, term),) = sub.uterms
+        assert term.kind == "scalar"
+        assert term.name == "k"
+        # The scalar write statement should read k (as a 0-d location).
+        second = program.statements[1]
+        assert any(r.array == "k" and r.subscripts == () for r in second.reads())
+
+    def test_symbolic_constants_not_reads(self):
+        program = parse("for i := 1 to n do a(i) := a(i-1) + x")
+        stmt = program.statements[0]
+        assert all(r.array == "a" for r in stmt.reads())
+        assert "x" in program.symbolic_constants
+
+    def test_unary_minus_and_parens(self):
+        program = parse("for i := -n to -(1) do a(-i) :=")
+        loop = program.loops()[0]
+        assert loop.lowers[0].coeff("n") == -1
+        assert loop.uppers[0].constant == -1
+
+
+class TestPrinterRoundTrip:
+    CASES = [
+        EXAMPLE3,
+        "a(n) :=\nfor i := n to n+10 do a(i) :=",
+        "for i := max(-m, -j0) to -1 do a(i) := a(i+1)",
+        "for i := 1 to n step 3 do { a(i) := b(i)\n c(i) := a(i) }",
+        "for i := 1 to n do a[Q[i]] := a[Q[i+1]-1]",
+        "for i := 1 to n do := a(i)",
+        "array A[1:n, 0:m-1]\nfor i := 1 to n do A(i, 0) := A(i-1, m-1)",
+        "real B(0:256)\nfor i := 0 to 256 do B(i) := 2*B(i) - 3",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_round_trip(self, source):
+        program = parse(source)
+        text = to_text(program)
+        reparsed = parse(text)
+        assert to_text(reparsed) == text
+
+    def test_round_trip_preserves_structure(self):
+        program = parse(EXAMPLE3)
+        reparsed = parse(to_text(program))
+        assert len(reparsed.statements) == len(program.statements)
+        assert reparsed.statements[0].loop_vars == ("L1", "L2")
+
+
+class TestProgramValidation:
+    def test_shadowed_loop_variable(self):
+        with pytest.raises(IRError):
+            parse("for i := 1 to n do for i := 1 to n do a(i) :=")
+
+    def test_loop_requires_bounds(self):
+        with pytest.raises(IRError):
+            Loop("i", (), ())
+
+    def test_arrays(self):
+        program = parse(EXAMPLE3)
+        assert program.arrays() == {"a"}
+
+    def test_writes_and_reads(self):
+        program = parse(EXAMPLE3)
+        assert len(program.writes()) == 1
+        assert len(program.reads()) == 1

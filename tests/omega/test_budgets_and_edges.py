@@ -1,0 +1,102 @@
+"""Complexity budgets and less-traveled code paths."""
+
+import pytest
+
+from repro.omega import (
+    And,
+    Atom,
+    Exists,
+    Not,
+    OmegaComplexityError,
+    Or,
+    Problem,
+    Variable,
+    implies_union,
+    is_satisfiable,
+    to_problems,
+)
+
+x = Variable("x")
+y = Variable("y")
+n = Variable("n", "sym")
+
+
+class TestImpliesUnionBudget:
+    def test_budget_exceeded_raises(self):
+        # Many multi-constraint pieces blow up the cube expansion.
+        p = Problem().add_bounds(0, x, 1000).add_bounds(0, y, 1000)
+        pieces = []
+        for k in range(12):
+            piece = Problem()
+            piece.add_bounds(k, x, k + 500)
+            piece.add_bounds(k, y, k + 500)
+            piece.add_le(x + y, 900 + k)
+            pieces.append(piece)
+        with pytest.raises(OmegaComplexityError):
+            implies_union(p, pieces, max_cubes=4)
+
+    def test_single_constraint_pieces_fine(self):
+        p = Problem().add_bounds(0, x, 10)
+        pieces = [Problem().add_ge(x - k) for k in range(11, 0, -1)]
+        pieces.append(Problem().add_le(x, 0))
+        assert implies_union(p, pieces)
+
+
+class TestFormulaBudget:
+    def test_disjunct_budget(self):
+        from repro.omega.presburger import _MAX_DISJUNCTS
+
+        # A formula whose DNF explodes: nested Or of equalities conjoined.
+        big_or = Or(*[Atom.eq(x, k) for k in range(80)])
+        formula = And(big_or, Or(*[Atom.eq(y, k) for k in range(80)]))
+        with pytest.raises(OmegaComplexityError):
+            to_problems(formula)
+
+    def test_empty_or(self):
+        assert to_problems(Or()) == []
+
+    def test_empty_and_is_true(self):
+        problems = to_problems(And())
+        assert len(problems) == 1
+        assert problems[0].is_trivially_true()
+
+    def test_negated_exists_with_stride(self):
+        # not exists y . x = 3y: x not divisible by 3.
+        formula = Not(Exists([y], Atom.eq(x, 3 * y)))
+        problems = to_problems(formula)
+        # Two residue classes.
+        assert len(problems) == 2
+
+
+class TestDegenerateProblems:
+    def test_zero_coefficient_constraint(self):
+        p = Problem().add_ge(0 * x + 5)
+        assert is_satisfiable(p)
+
+    def test_huge_coefficients(self):
+        big = 10**12
+        p = Problem().add_eq(big * x, big * 7)
+        assert is_satisfiable(p)
+        p2 = Problem().add_eq(big * x, big * 7 + 1)
+        assert not is_satisfiable(p2)
+
+    def test_many_redundant_constraints(self):
+        p = Problem()
+        for k in range(50):
+            p.add_ge(x - k)
+        p.add_le(x, 100)
+        assert is_satisfiable(p)
+
+    def test_long_equality_chain(self):
+        variables = [Variable(f"v{k}") for k in range(12)]
+        p = Problem()
+        for a, b in zip(variables, variables[1:]):
+            p.add_eq(a, b + 1)
+        p.add_bounds(0, variables[-1], 0)
+        assert is_satisfiable(p)
+        p.add_le(variables[0], 5)
+        assert not is_satisfiable(p)
+
+    def test_sym_only_problem(self):
+        p = Problem().add_bounds(1, n, 10).add_eq(2 * n, 10)
+        assert is_satisfiable(p)

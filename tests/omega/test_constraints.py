@@ -1,0 +1,179 @@
+"""Unit tests for constraints and problem normalization."""
+
+import pytest
+
+from repro.omega import (
+    Constraint,
+    NormalizeStatus,
+    OmegaError,
+    Problem,
+    Relation,
+    Variable,
+    eq,
+    ge,
+    le,
+)
+
+x = Variable("x")
+y = Variable("y")
+
+
+class TestConstraintBasics:
+    def test_ge_builder(self):
+        c = ge(x - 1)
+        assert not c.is_equality
+        assert c.coeff(x) == 1
+
+    def test_le_builder(self):
+        c = le(x, 5)  # 5 - x >= 0
+        assert c.coeff(x) == -1
+        assert c.expr.constant == 5
+
+    def test_eq_builder(self):
+        c = eq(x, y + 2)
+        assert c.is_equality
+        assert c.coeff(x) == 1
+        assert c.coeff(y) == -1
+        assert c.expr.constant == -2
+
+    def test_negated_inequality(self):
+        c = ge(x - 3).negated()  # not(x >= 3) == x <= 2 == -x + 2 >= 0
+        assert c.coeff(x) == -1
+        assert c.expr.constant == 2
+
+    def test_negating_equality_raises(self):
+        with pytest.raises(OmegaError):
+            eq(x, 1).negated()
+
+    def test_as_inequalities_for_equality(self):
+        pair = eq(x, 1).as_inequalities()
+        assert len(pair) == 2
+        assert all(not c.is_equality for c in pair)
+
+    def test_satisfaction(self):
+        assert ge(x - 3).is_satisfied_by({x: 3})
+        assert not ge(x - 3).is_satisfied_by({x: 2})
+        assert eq(x, y).is_satisfied_by({x: 4, y: 4})
+
+
+class TestProblemConstruction:
+    def test_add_bounds(self):
+        p = Problem().add_bounds(1, x, 10)
+        assert len(p) == 2
+
+    def test_conjoin_does_not_mutate(self):
+        p = Problem().add_ge(x)
+        q = Problem().add_ge(y)
+        merged = p.conjoin(q)
+        assert len(merged) == 2
+        assert len(p) == 1
+        assert len(q) == 1
+
+    def test_variables(self):
+        p = Problem().add_le(x, y).add_ge(x)
+        assert p.variables() == frozenset({x, y})
+
+    def test_bounds_on(self):
+        p = Problem().add_bounds(0, x, 5).add_eq(y, 1)
+        lowers, uppers = p.bounds_on(x)
+        assert len(lowers) == 1 and len(uppers) == 1
+
+    def test_is_satisfied_by(self):
+        p = Problem().add_bounds(0, x, 5).add_eq(x, y)
+        assert p.is_satisfied_by({x: 3, y: 3})
+        assert not p.is_satisfied_by({x: 3, y: 4})
+
+
+class TestNormalization:
+    def norm(self, p):
+        return p.normalized()
+
+    def test_empty_is_tautology(self):
+        _, status = self.norm(Problem())
+        assert status is NormalizeStatus.TAUTOLOGY
+
+    def test_constant_true_constraint_dropped(self):
+        p, status = self.norm(Problem().add_ge(3))
+        assert status is NormalizeStatus.TAUTOLOGY
+        assert len(p) == 0
+
+    def test_constant_false_constraint(self):
+        _, status = self.norm(Problem().add_ge(-1))
+        assert status is NormalizeStatus.UNSATISFIABLE
+
+    def test_constant_equality(self):
+        _, status = self.norm(Problem().add_eq(0, 0))
+        assert status is NormalizeStatus.TAUTOLOGY
+        _, status = self.norm(Problem().add_eq(0, 3))
+        assert status is NormalizeStatus.UNSATISFIABLE
+
+    def test_gcd_reduction_of_inequality_tightens(self):
+        # 2x >= 3  =>  x >= 2 (i.e. x - 2 >= 0)
+        p, _ = self.norm(Problem().add_ge(2 * x - 3))
+        (c,) = p.constraints
+        assert c.coeff(x) == 1
+        assert c.expr.constant == -2
+
+    def test_gcd_unsatisfiable_equality(self):
+        # 2x = 3 has no integer solutions.
+        _, status = self.norm(Problem().add_eq(2 * x, 3))
+        assert status is NormalizeStatus.UNSATISFIABLE
+
+    def test_gcd_reduces_equality(self):
+        p, _ = self.norm(Problem().add_eq(4 * x, 8))
+        (c,) = p.constraints
+        assert c.coeff(x) == 1
+        assert abs(c.expr.constant) == 2
+
+    def test_equality_canonical_sign(self):
+        p1, _ = self.norm(Problem().add_eq(x - y))
+        p2, _ = self.norm(Problem().add_eq(y - x))
+        assert p1.constraints[0].expr == p2.constraints[0].expr
+
+    def test_duplicate_inequalities_merged(self):
+        p, _ = self.norm(Problem().add_ge(x - 1).add_ge(x - 1))
+        assert len(p) == 1
+
+    def test_same_normal_keeps_tightest(self):
+        p, _ = self.norm(Problem().add_ge(x - 1).add_ge(x - 5))
+        (c,) = p.constraints
+        assert c.expr.constant == -5
+
+    def test_opposite_pair_becomes_equality(self):
+        p, _ = self.norm(Problem().add_le(x, 3).add_ge(x - 3))
+        (c,) = p.constraints
+        assert c.is_equality
+
+    def test_opposite_pair_conflict(self):
+        _, status = self.norm(Problem().add_le(x, 2).add_ge(x - 3))
+        assert status is NormalizeStatus.UNSATISFIABLE
+
+    def test_conflicting_equalities(self):
+        _, status = self.norm(Problem().add_eq(x, 1).add_eq(x, 2))
+        assert status is NormalizeStatus.UNSATISFIABLE
+
+    def test_inequality_implied_by_equality_dropped(self):
+        p, _ = self.norm(Problem().add_eq(x, 3).add_ge(x - 1))
+        assert len(p) == 1
+        assert p.constraints[0].is_equality
+
+    def test_inequality_conflicting_with_equality(self):
+        _, status = self.norm(Problem().add_eq(x, 0).add_ge(x - 1))
+        assert status is NormalizeStatus.UNSATISFIABLE
+
+    def test_upper_inequality_conflicting_with_equality(self):
+        _, status = self.norm(Problem().add_eq(x, 5).add_le(x, 3))
+        assert status is NormalizeStatus.UNSATISFIABLE
+
+    def test_normalization_preserves_solutions(self):
+        p = Problem().add_ge(2 * x - 3).add_le(x, y).add_eq(2 * y, 4 * x)
+        normalized, status = self.norm(p)
+        assert status is NormalizeStatus.NORMALIZED
+        for vx in range(-5, 6):
+            for vy in range(-5, 6):
+                asg = {x: vx, y: vy}
+                assert p.is_satisfied_by(asg) == normalized.is_satisfied_by(asg)
+
+    def test_str(self):
+        assert str(Problem()) == "TRUE"
+        assert ">=" in str(Problem().add_ge(x))

@@ -1,0 +1,157 @@
+"""Negation clauses, stride handling, error paths and edge cases."""
+
+import pytest
+
+from repro.omega import (
+    NonlinearConstraintError,
+    OmegaComplexityError,
+    OmegaError,
+    Problem,
+    Variable,
+    eq,
+    fresh_wildcard,
+    ge,
+    is_satisfiable,
+    project,
+)
+from repro.omega.constraints import negation_clauses
+from repro.omega.eliminate import is_stride_equality
+
+from tests.util import enumerate_box
+
+x = Variable("x")
+y = Variable("y")
+n = Variable("n", "sym")
+
+
+class TestNegationClauses:
+    def test_inequality_single_clause(self):
+        clauses = negation_clauses(ge(x - 3))
+        assert len(clauses) == 1
+        (clause,) = clauses
+        # not(x >= 3) == x <= 2
+        assert clause[0].is_satisfied_by({x: 2})
+        assert not clause[0].is_satisfied_by({x: 3})
+
+    def test_equality_two_clauses(self):
+        clauses = negation_clauses(eq(x, 3))
+        assert len(clauses) == 2
+        # x = 2 and x = 4 each satisfy exactly one clause.
+        for value in (2, 4):
+            matches = [
+                clause
+                for clause in clauses
+                if all(c.is_satisfied_by({x: value}) for c in clause)
+            ]
+            assert len(matches) == 1
+        # x = 3 satisfies neither.
+        assert not any(
+            all(c.is_satisfied_by({x: 3}) for c in clause) for clause in clauses
+        )
+
+    def test_stride_equality_modular_clauses(self):
+        w = fresh_wildcard()
+        constraint = eq(3 * w + n)  # n == 0 (mod 3)
+        clauses = negation_clauses(constraint)
+        assert len(clauses) == 2  # n == 1 or n == 2 (mod 3)
+        # Exhaustive check: for every n, "n not divisible by 3" iff some
+        # clause is satisfiable.
+        for value in range(-9, 10):
+            expected = value % 3 != 0
+            got = any(
+                is_satisfiable(Problem(clause).add_eq(n, value))
+                for clause in clauses
+            )
+            assert got == expected, value
+
+    def test_mixed_wildcard_inequality_rejected(self):
+        w = fresh_wildcard()
+        with pytest.raises(OmegaError):
+            negation_clauses(ge(w + n))
+
+    def test_multi_wildcard_equality_rejected(self):
+        w1, w2 = fresh_wildcard(), fresh_wildcard()
+        with pytest.raises(OmegaError):
+            negation_clauses(eq(2 * w1 + 3 * w2 + n))
+
+
+class TestStrideEqualities:
+    def test_detection(self):
+        w = fresh_wildcard()
+        problem = Problem().add_eq(2 * w, n)
+        (constraint,) = problem.constraints
+        assert is_stride_equality(constraint, problem, frozenset({n}))
+
+    def test_not_stride_with_unit_coefficient(self):
+        w = fresh_wildcard()
+        problem = Problem().add_eq(w, n)
+        (constraint,) = problem.constraints
+        assert not is_stride_equality(constraint, problem, frozenset({n}))
+
+    def test_not_stride_when_wildcard_shared(self):
+        w = fresh_wildcard()
+        problem = Problem().add_eq(2 * w, n).add_ge(w)
+        constraint = problem.equalities()[0]
+        assert not is_stride_equality(constraint, problem, frozenset({n}))
+
+    def test_projection_of_composite_stride(self):
+        # exists x, y: n = 2x and n = 3y  ->  n == 0 (mod 6)
+        p = Problem().add_eq(n, 2 * x).add_eq(n, 3 * y)
+        projection = project(p, [n])
+        assert projection.exact_union
+        from tests.util import union_members
+
+        members = union_members(projection.pieces, [n], 12)
+        assert members == {(v,) for v in range(-12, 13) if v % 6 == 0}
+
+    def test_stride_satisfiability_round_trip(self):
+        # Pieces containing strides stay decidable.
+        p = Problem().add_eq(n, 4 * x).add_bounds(1, n, 3)
+        assert not is_satisfiable(p)
+        p2 = Problem().add_eq(n, 4 * x).add_bounds(1, n, 4)
+        assert is_satisfiable(p2)
+
+
+class TestComplexityGuards:
+    def test_max_splinters_budget(self):
+        from repro.omega.eliminate import fourier_motzkin
+
+        z = Variable("z")
+        p = Problem()
+        # Many non-unit lower bounds against a large upper coefficient.
+        for k in range(40):
+            p.add_ge(7 * z - (x + k))
+        p.add_ge(9 * y - 11 * z)
+        with pytest.raises(OmegaComplexityError):
+            fourier_motzkin(p, z, max_splinters=8)
+
+    def test_projection_survives_fallback(self):
+        # Even when exactness is abandoned the projection returns a sound
+        # under-approximation rather than raising.
+        z = Variable("z")
+        p = Problem()
+        for k in range(10):
+            p.add_ge(7 * z - (x + k))
+        p.add_ge(9 * y - 11 * z)
+        p.add_bounds(0, x, 100).add_bounds(0, y, 100)
+        projection = project(p, [x, y])
+        assert projection.real is not None
+
+
+class TestErrorsHierarchy:
+    def test_subclasses(self):
+        assert issubclass(OmegaComplexityError, OmegaError)
+        assert issubclass(NonlinearConstraintError, OmegaError)
+
+
+class TestProjectionAPI:
+    def test_dark_property_of_empty(self):
+        p = Problem().add_bounds(3, x, 1)
+        projection = project(p, [y])
+        assert projection.is_empty()
+        assert not is_satisfiable(projection.dark)
+
+    def test_str(self):
+        p = Problem().add_bounds(0, x, 5).add_eq(x, y)
+        projection = project(p, [y])
+        assert ">=" in str(projection)

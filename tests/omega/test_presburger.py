@@ -1,0 +1,214 @@
+"""Presburger formula layer tests (Section 3.2)."""
+
+import pytest
+
+from repro.omega import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Problem,
+    Variable,
+    satisfiable,
+    to_problems,
+    valid,
+)
+
+x = Variable("x")
+y = Variable("y")
+z = Variable("z")
+n = Variable("n", "sym")
+
+
+def between(v, lo, hi):
+    return And(Atom.le(lo, v), Atom.le(v, hi))
+
+
+class TestAtoms:
+    def test_ge(self):
+        assert satisfiable(Atom.ge(x))
+        assert valid(Or(Atom.ge(x), Atom.ge(-x)))
+
+    def test_lt(self):
+        assert not satisfiable(And(Atom.lt(x, 3), Atom.ge(x - 3)))
+
+    def test_eq(self):
+        assert satisfiable(Atom.eq(x, 3))
+        assert not valid(Atom.eq(x, 3))
+
+
+class TestConnectives:
+    def test_true_false(self):
+        assert satisfiable(TRUE)
+        assert not satisfiable(FALSE)
+        assert valid(TRUE)
+        assert not valid(FALSE)
+
+    def test_and(self):
+        assert satisfiable(And(Atom.ge(x), Atom.le(x, 5)))
+        assert not satisfiable(And(Atom.ge(x - 1), Atom.le(x, 0)))
+
+    def test_or(self):
+        assert satisfiable(Or(FALSE, Atom.eq(x, 1)))
+        assert not satisfiable(Or(FALSE, FALSE))
+
+    def test_not(self):
+        assert satisfiable(Not(Atom.eq(x, 0)))
+        assert not satisfiable(Not(Or(Atom.ge(x), Atom.lt(x, 0))))
+
+    def test_implies_formula(self):
+        f = Implies(between(x, 2, 3), Atom.ge(x - 1))
+        assert valid(f)
+        g = Implies(between(x, 0, 3), Atom.ge(x - 1))
+        assert not valid(g)
+
+    def test_operators_sugar(self):
+        f = (Atom.ge(x) & Atom.le(x, 5)) | ~Atom.ge(x)
+        assert satisfiable(f)
+
+    def test_nary_flattening(self):
+        f = And(And(Atom.ge(x), Atom.ge(y)), Atom.ge(z))
+        assert len(f.operands) == 3
+
+    def test_excluded_middle_with_equality(self):
+        f = Or(Atom.eq(x, y), Not(Atom.eq(x, y)))
+        assert valid(f)
+
+
+class TestQuantifiers:
+    def test_exists_simple(self):
+        f = Exists([x], And(Atom.eq(x, n), between(x, 0, 5)))
+        # satisfiable (n free/existential), not valid for all n.
+        assert satisfiable(f)
+        assert not valid(f)
+
+    def test_exists_witness_constraint(self):
+        # exists x . 2x = n : n must be even.
+        f = Exists([x], Atom.eq(2 * x, n))
+        assert satisfiable(f)
+        assert not valid(f)
+        # n even and n odd is unsatisfiable.
+        g = And(
+            Exists([x], Atom.eq(2 * x, n)),
+            Exists([y], Atom.eq(2 * y + 1, n)),
+        )
+        assert not satisfiable(g)
+
+    def test_forall_simple(self):
+        # forall x in [0,5] . x <= 5
+        f = Forall([x], Implies(between(x, 0, 5), Atom.le(x, 5)))
+        assert valid(f)
+
+    def test_forall_false(self):
+        f = Forall([x], Atom.ge(x))
+        assert not satisfiable(f)
+
+    def test_paper_shape_forall_exists(self):
+        # forall x, exists y s.t. p -- True iff pi_{not y}(p) is a tautology.
+        # Take p: x <= y: every x has a y above it.
+        f = Forall([x], Exists([y], Atom.le(x, y)))
+        assert valid(f)
+
+    def test_paper_shape_exists_implies_exists(self):
+        # forall k: (exists i . 0 <= i <= 5 and k = i)
+        #        => (exists j . 0 <= j <= 10 and k = j)
+        k = Variable("k")
+        lhs = Exists([x], And(between(x, 0, 5), Atom.eq(k, x)))
+        rhs = Exists([y], And(between(y, 0, 10), Atom.eq(k, y)))
+        assert valid(Forall([k], Implies(lhs, rhs)))
+        assert not valid(Forall([k], Implies(rhs, lhs)))
+
+    def test_alternating_quantifiers(self):
+        # forall x in [0,3], exists y . y = x + 1 and y in [1,4]
+        f = Forall(
+            [x],
+            Implies(
+                between(x, 0, 3),
+                Exists([y], And(Atom.eq(y, x + 1), between(y, 1, 4))),
+            ),
+        )
+        assert valid(f)
+
+    def test_alternating_quantifiers_false(self):
+        f = Forall(
+            [x],
+            Implies(
+                between(x, 0, 3),
+                Exists([y], And(Atom.eq(y, x + 1), between(y, 1, 3))),
+            ),
+        )
+        assert not valid(f)  # x = 3 needs y = 4
+
+    def test_exists_with_stride_negation(self):
+        # not (exists x . n = 2x) and not (exists x . n = 2x+1) is unsat.
+        f = And(
+            Not(Exists([x], Atom.eq(n, 2 * x))),
+            Not(Exists([x], Atom.eq(n, 2 * x + 1))),
+        )
+        assert not satisfiable(f)
+
+    def test_divisibility_case_split(self):
+        # Every n is 3k, 3k+1 or 3k+2.
+        f = Or(
+            Exists([x], Atom.eq(n, 3 * x)),
+            Exists([x], Atom.eq(n, 3 * x + 1)),
+            Exists([x], Atom.eq(n, 3 * x + 2)),
+        )
+        assert valid(f)
+
+    def test_nested_exists(self):
+        f = Exists([x], Exists([y], And(Atom.eq(x + y, 10), Atom.ge(x), Atom.ge(y))))
+        assert satisfiable(f)
+
+
+class TestToProblems:
+    def test_atom(self):
+        problems = to_problems(Atom.ge(x))
+        assert len(problems) == 1
+
+    def test_or_produces_union(self):
+        problems = to_problems(Or(Atom.eq(x, 1), Atom.eq(x, 2)))
+        assert len(problems) == 2
+
+    def test_unsat_conjunct_pruned(self):
+        problems = to_problems(And(Atom.ge(x - 1), Atom.le(x, 0)))
+        assert problems == []
+
+    def test_exists_projects(self):
+        problems = to_problems(Exists([x], And(Atom.eq(x, n), between(x, 0, 5))))
+        assert len(problems) == 1
+        p = problems[0]
+        assert x not in p.variables()
+        assert n in p.variables()
+
+    def test_not_a_formula_raises(self):
+        with pytest.raises(TypeError):
+            to_problems("nope")  # type: ignore[arg-type]
+
+
+class TestValidityExamples:
+    """The three example shapes from Section 3.2 of the paper."""
+
+    def test_forall_exists_shape(self):
+        # forall x, exists y s.t. p
+        p = And(Atom.le(x, y), Atom.le(y, x + 2))
+        assert valid(Forall([x], Exists([y], p)))
+
+    def test_implication_shape(self):
+        # forall x, (exists y s.t. p) => (exists z s.t. q)
+        p = And(between(y, 0, 5), Atom.eq(x, 2 * y))
+        q = And(between(z, 0, 10), Atom.eq(x, 2 * z))
+        assert valid(Forall([x], Implies(Exists([y], p), Exists([z], q))))
+
+    def test_disjunction_shape(self):
+        # forall x, not p or q or not r  iff  p and r => q
+        p = Atom.ge(x)
+        r = Atom.le(x, 10)
+        q = Atom.ge(x + 5)
+        f = Forall([x], Or(Not(p), q, Not(r)))
+        assert valid(f)

@@ -1,0 +1,144 @@
+"""Property-based testing of the Presburger decision layer.
+
+Random quantifier-free formulas are compared against brute-force
+evaluation over a box; bounded-quantifier formulas are checked against
+explicit enumeration of the quantified variables.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.omega import (
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Problem,
+    Variable,
+    satisfiable,
+    to_problems,
+    valid,
+)
+
+x = Variable("x")
+y = Variable("y")
+VARS = [x, y]
+RADIUS = 4
+
+
+@st.composite
+def qf_formulas(draw, depth=3):
+    """Random quantifier-free formulas over x and y."""
+
+    if depth == 0:
+        coeffs = [draw(st.integers(-2, 2)) for _ in VARS]
+        constant = draw(st.integers(-5, 5))
+        expr = sum((c * v for c, v in zip(coeffs, VARS)), start=x * 0) + constant
+        if draw(st.booleans()):
+            return Atom.ge(expr)
+        return Atom.eq(expr)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return Not(draw(qf_formulas(depth=depth - 1)))
+    left = draw(qf_formulas(depth=depth - 1))
+    right = draw(qf_formulas(depth=depth - 1))
+    if kind == 1:
+        return And(left, right)
+    if kind == 2:
+        return Or(left, right)
+    return Implies(left, right)
+
+
+def evaluate(formula, assignment) -> bool:
+    """Brute-force evaluation of a quantifier-free formula."""
+
+    if isinstance(formula, Atom):
+        return formula.constraint.is_satisfied_by(assignment)
+    if isinstance(formula, Not):
+        return not evaluate(formula.operand, assignment)
+    if isinstance(formula, And):
+        return all(evaluate(op, assignment) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(evaluate(op, assignment) for op in formula.operands)
+    if isinstance(formula, Implies):
+        return (not evaluate(formula.antecedent, assignment)) or evaluate(
+            formula.consequent, assignment
+        )
+    raise TypeError(formula)
+
+
+def boxed(formula):
+    bounds = And(
+        Atom.ge(x + RADIUS),
+        Atom.ge(RADIUS - x),
+        Atom.ge(y + RADIUS),
+        Atom.ge(RADIUS - y),
+    )
+    return And(bounds, formula)
+
+
+def box_points():
+    values = range(-RADIUS, RADIUS + 1)
+    for vx, vy in itertools.product(values, values):
+        yield {x: vx, y: vy}
+
+
+@settings(max_examples=120, deadline=None)
+@given(qf_formulas())
+def test_satisfiable_matches_enumeration(formula):
+    expected = any(evaluate(formula, point) for point in box_points())
+    assert satisfiable(boxed(formula)) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(qf_formulas())
+def test_to_problems_is_exact(formula):
+    problems = to_problems(boxed(formula))
+    for point in box_points():
+        expected = evaluate(formula, point)
+        got = any(p.is_satisfied_by(point) for p in problems)
+        # to_problems may contain stride wildcards in principle; none are
+        # produced for quantifier-free inputs.
+        assert got == expected, point
+
+
+@settings(max_examples=60, deadline=None)
+@given(qf_formulas(depth=2))
+def test_forall_matches_enumeration(formula):
+    # forall x, y in box . formula
+    bounded = Implies(
+        And(
+            Atom.ge(x + RADIUS),
+            Atom.ge(RADIUS - x),
+            Atom.ge(y + RADIUS),
+            Atom.ge(RADIUS - y),
+        ),
+        formula,
+    )
+    expected = all(evaluate(formula, point) for point in box_points())
+    assert valid(Forall([x, y], bounded)) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(qf_formulas(depth=2))
+def test_exists_forall_duality(formula):
+    f_exists = satisfiable(boxed(formula))
+    f_not_forall_not = not valid(
+        Forall(
+            [x, y],
+            Implies(
+                And(
+                    Atom.ge(x + RADIUS),
+                    Atom.ge(RADIUS - x),
+                    Atom.ge(y + RADIUS),
+                    Atom.ge(RADIUS - y),
+                ),
+                Not(formula),
+            ),
+        )
+    )
+    assert f_exists == f_not_forall_not

@@ -1,0 +1,157 @@
+"""Projection tests: exact unions, dark/real shadows, stride constraints."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.omega import Problem, Variable, project, project_away
+
+from tests.util import (
+    boxed,
+    brute_force_projection,
+    piece_satisfied,
+    union_members,
+)
+
+a = Variable("a")
+b = Variable("b")
+x = Variable("x")
+y = Variable("y")
+z = Variable("z")
+n = Variable("n", "sym")
+
+
+class TestPaperExample:
+    def test_section3_projection(self):
+        # "projecting {0 <= a <= 5; b < a <= 5b} onto a gives {2 <= a <= 5}"
+        p = Problem().add_bounds(0, a, 5).add_le(b + 1, a).add_le(a, 5 * b)
+        proj = project(p, [a])
+        assert proj.exact_union
+        assert len(proj.pieces) == 1
+        members = union_members(proj.pieces, [a], 10)
+        assert members == {(v,) for v in range(2, 6)}
+
+
+class TestProjectionBasics:
+    def test_projecting_all_vars_is_identity_like(self):
+        p = Problem().add_bounds(0, x, 5)
+        proj = project(p, [x])
+        assert union_members(proj.pieces, [x], 10) == {(v,) for v in range(6)}
+
+    def test_projection_of_unsat_problem_is_empty(self):
+        p = Problem().add_bounds(5, x, 0).add_le(y, x)
+        proj = project(p, [y])
+        assert proj.is_empty()
+
+    def test_unconstrained_kept_variable(self):
+        p = Problem().add_bounds(0, x, 5)
+        proj = project(p, [y])
+        # x is eliminated, nothing constrains y.
+        assert len(proj.pieces) == 1
+        assert proj.pieces[0].is_trivially_true()
+
+    def test_equality_projection(self):
+        p = Problem().add_eq(x, y + 3).add_bounds(0, x, 10)
+        proj = project(p, [y])
+        assert union_members(proj.pieces, [y], 15) == {
+            (v,) for v in range(-3, 8)
+        }
+
+    def test_project_away(self):
+        p = Problem().add_bounds(0, x, 5).add_le(x, y).add_le(y, x + 1)
+        proj = project_away(p, [x])
+        members = union_members(proj.pieces, [y], 10)
+        assert members == {(v,) for v in range(0, 7)}
+
+    def test_stride_constraint_survives(self):
+        # exists x . n = 2x  — the projection onto n must be "n is even",
+        # which requires a stride equality with a wildcard.
+        p = Problem().add_eq(n, 2 * x)
+        proj = project(p, [n])
+        assert proj.exact_union
+        members = union_members(proj.pieces, [n], 8)
+        assert members == {(v,) for v in range(-8, 9) if v % 2 == 0}
+
+    def test_stride_with_bounds(self):
+        p = Problem().add_eq(n, 3 * x).add_bounds(0, x, 3)
+        proj = project(p, [n])
+        members = union_members(proj.pieces, [n], 12)
+        assert members == {(0,), (3,), (6,), (9,)}
+
+    def test_dark_shadow_is_first_piece(self):
+        p = (
+            Problem()
+            .add_ge(3 * z - x)
+            .add_ge(y - 2 * z)
+            .add_bounds(0, x, 12)
+            .add_bounds(0, y, 12)
+        )
+        proj = project(p, [x, y])
+        assert proj.splintered
+        dark_members = union_members([proj.dark], [x, y], 12)
+        all_members = union_members(proj.pieces, [x, y], 12)
+        assert dark_members <= all_members
+        # "S0 contains almost all of the points"
+        assert len(dark_members) > len(all_members) // 2
+
+    def test_real_shadow_superset(self):
+        p = (
+            Problem()
+            .add_ge(3 * z - x)
+            .add_ge(y - 2 * z)
+            .add_bounds(0, x, 12)
+            .add_bounds(0, y, 12)
+        )
+        proj = project(p, [x, y])
+        exact = union_members(proj.pieces, [x, y], 12)
+        real = union_members([proj.real], [x, y], 12)
+        assert exact <= real
+
+    def test_coupled_equalities(self):
+        p = (
+            Problem()
+            .add_eq(x + y, z)
+            .add_bounds(1, x, 4)
+            .add_bounds(1, y, 4)
+        )
+        proj = project(p, [z])
+        members = union_members(proj.pieces, [z], 12)
+        assert members == {(v,) for v in range(2, 9)}
+
+
+VARS = [x, y, z]
+
+
+@st.composite
+def projection_cases(draw):
+    n_constraints = draw(st.integers(1, 4))
+    n_vars = draw(st.integers(2, 3))
+    variables = VARS[:n_vars]
+    n_keep = draw(st.integers(1, n_vars - 1))
+    problem = Problem()
+    for _ in range(n_constraints):
+        coeffs = [draw(st.integers(-3, 3)) for _ in variables]
+        constant = draw(st.integers(-8, 8))
+        expr = sum(
+            (c * v for c, v in zip(coeffs, variables)),
+            start=Variable("_d") * 0,
+        ) + constant
+        if draw(st.integers(0, 3)) == 0:
+            problem.add_eq(expr)
+        else:
+            problem.add_ge(expr)
+    return problem, variables, variables[:n_keep]
+
+
+@settings(max_examples=200, deadline=None)
+@given(projection_cases())
+def test_projection_matches_brute_force(case):
+    problem, variables, kept = case
+    radius = 5
+    finite = boxed(problem, variables, radius)
+    reference = brute_force_projection(finite, variables, kept, radius)
+    proj = project(finite, kept)
+    if not proj.exact_union:
+        return  # complexity fallback: pieces only under-approximate
+    got = union_members(proj.pieces, kept, radius)
+    # The projection may include kept-points witnessed outside the display
+    # box for kept variables... it cannot: kept variables are boxed too.
+    assert got == reference

@@ -1,0 +1,126 @@
+"""Simplification and witness extraction tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.omega import OmegaError, Problem, Variable, is_satisfiable
+from repro.omega.simplify import find_witness, simplify
+
+from tests.util import boxed, enumerate_box
+
+x = Variable("x")
+y = Variable("y")
+z = Variable("z")
+
+
+class TestSimplify:
+    def test_removes_redundant_bound(self):
+        p = Problem().add_ge(x).add_ge(x - 5)  # x >= 0 redundant
+        s = simplify(p)
+        assert len(s.constraints) == 1
+
+    def test_removes_transitive_redundancy(self):
+        p = Problem().add_le(x, y).add_le(y, z).add_le(x, z)
+        s = simplify(p)
+        assert len(s.constraints) == 2
+
+    def test_unsat_becomes_canonical_false(self):
+        p = Problem().add_bounds(5, x, 0)
+        s = simplify(p)
+        assert not is_satisfiable(s)
+        assert len(s.constraints) == 1
+
+    def test_parity_unsat_detected(self):
+        p = Problem().add_eq(x, 2 * y).add_eq(x, 2 * z + 1)
+        s = simplify(p)
+        assert not is_satisfiable(s)
+
+    def test_tautology(self):
+        assert simplify(Problem().add_ge(5)).is_trivially_true()
+
+    def test_equivalence_preserved(self):
+        p = (
+            Problem()
+            .add_bounds(0, x, 9)
+            .add_ge(2 * x - 3)
+            .add_ge(x - 1)
+            .add_le(x, y)
+        )
+        s = simplify(p)
+        for assignment in enumerate_box([x, y], 12):
+            assert p.is_satisfied_by(assignment) == s.is_satisfied_by(
+                assignment
+            )
+
+
+class TestFindWitness:
+    def test_simple(self):
+        p = Problem().add_bounds(3, x, 7)
+        witness = find_witness(p)
+        assert witness is not None
+        assert p.is_satisfied_by(witness)
+
+    def test_none_for_unsat(self):
+        assert find_witness(Problem().add_bounds(5, x, 3)) is None
+
+    def test_coupled(self):
+        p = Problem().add_eq(x + y, 10).add_bounds(0, x, 4).add_bounds(0, y, 20)
+        witness = find_witness(p)
+        assert witness[x] + witness[y] == 10
+
+    def test_diophantine(self):
+        p = Problem().add_eq(3 * x + 5 * y, 7).add_bounds(-10, x, 10).add_bounds(
+            -10, y, 10
+        )
+        witness = find_witness(p)
+        assert 3 * witness[x] + 5 * witness[y] == 7
+
+    def test_unbounded_direction(self):
+        p = Problem().add_ge(x - 1000)
+        witness = find_witness(p)
+        assert witness[x] >= 1000
+
+    def test_minimality_preference(self):
+        # The search picks the smallest feasible value per variable (in
+        # sorted variable order), making witnesses deterministic.
+        p = Problem().add_bounds(2, x, 9)
+        assert find_witness(p)[x] == 2
+
+
+@st.composite
+def witness_problems(draw):
+    problem = Problem()
+    variables = [x, y]
+    for _ in range(draw(st.integers(1, 4))):
+        coeffs = [draw(st.integers(-3, 3)) for _ in variables]
+        constant = draw(st.integers(-8, 8))
+        expr = sum(
+            (c * v for c, v in zip(coeffs, variables)), start=x * 0
+        ) + constant
+        if draw(st.integers(0, 3)) == 0:
+            problem.add_eq(expr)
+        else:
+            problem.add_ge(expr)
+    return problem
+
+
+@settings(max_examples=120, deadline=None)
+@given(witness_problems())
+def test_witness_always_satisfies(problem):
+    finite = boxed(problem, [x, y], 6)
+    witness = find_witness(finite)
+    if witness is None:
+        assert not is_satisfiable(finite)
+    else:
+        assert finite.is_satisfied_by(witness)
+
+
+@settings(max_examples=80, deadline=None)
+@given(witness_problems())
+def test_simplify_preserves_solution_set(problem):
+    finite = boxed(problem, [x, y], 5)
+    simplified = simplify(finite)
+    for assignment in enumerate_box([x, y], 5):
+        assert finite.is_satisfied_by(assignment) == simplified.is_satisfied_by(
+            assignment
+        ), assignment

@@ -1,0 +1,170 @@
+"""Unit tests for variables and linear expressions."""
+
+import pytest
+
+from repro.omega import LinearExpr, Variable, const, fresh_wildcard, term
+from repro.omega.terms import sum_exprs
+
+
+class TestVariable:
+    def test_equality_by_name_and_kind(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+        assert Variable("x", "sym") != Variable("x", "var")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("x", "bogus")
+
+    def test_kind_predicates(self):
+        assert Variable("n", "sym").is_symbolic
+        assert not Variable("n", "sym").is_wildcard
+        assert fresh_wildcard().is_wildcard
+
+    def test_fresh_wildcards_are_distinct(self):
+        assert fresh_wildcard() != fresh_wildcard()
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_ordering_is_by_name(self):
+        assert sorted([Variable("b"), Variable("a")]) == [
+            Variable("a"),
+            Variable("b"),
+        ]
+
+
+class TestLinearExprConstruction:
+    def test_zero_coefficients_dropped(self):
+        x = Variable("x")
+        expr = LinearExpr({x: 0}, 3)
+        assert expr.is_constant()
+        assert expr.constant == 3
+
+    def test_non_int_coefficient_rejected(self):
+        x = Variable("x")
+        with pytest.raises(TypeError):
+            LinearExpr({x: 1.5})
+
+    def test_term_and_const_helpers(self):
+        x = Variable("x")
+        assert term(x, 3).coeff(x) == 3
+        assert const(7).constant == 7
+
+
+class TestLinearExprArithmetic:
+    def setup_method(self):
+        self.x = Variable("x")
+        self.y = Variable("y")
+
+    def test_addition_merges_terms(self):
+        expr = (self.x + 1) + (self.x + self.y - 4)
+        assert expr.coeff(self.x) == 2
+        assert expr.coeff(self.y) == 1
+        assert expr.constant == -3
+
+    def test_addition_cancels_to_zero(self):
+        expr = (self.x - self.y) + (self.y - self.x)
+        assert expr.is_constant()
+        assert expr.constant == 0
+
+    def test_subtraction(self):
+        expr = 2 * self.x - 3 * self.y - 5
+        assert expr.coeff(self.x) == 2
+        assert expr.coeff(self.y) == -3
+        assert expr.constant == -5
+
+    def test_rsub(self):
+        expr = 10 - self.x
+        assert expr.coeff(self.x) == -1
+        assert expr.constant == 10
+
+    def test_negation(self):
+        expr = -(2 * self.x + 3)
+        assert expr.coeff(self.x) == -2
+        assert expr.constant == -3
+
+    def test_scalar_multiplication(self):
+        expr = 3 * (self.x + self.y + 1)
+        assert expr.coeff(self.x) == 3
+        assert expr.constant == 3
+
+    def test_multiplication_by_zero(self):
+        assert ((self.x + 5) * 0).is_constant()
+
+    def test_non_integer_scale_rejected(self):
+        with pytest.raises(TypeError):
+            (self.x + 1) * 1.5
+
+    def test_variable_times_variable_rejected(self):
+        with pytest.raises(TypeError):
+            self.x * self.y  # non-linear
+
+    def test_sum_exprs(self):
+        total = sum_exprs([self.x + 1, self.y + 2, LinearExpr()])
+        assert total.coeff(self.x) == 1
+        assert total.coeff(self.y) == 1
+        assert total.constant == 3
+
+
+class TestLinearExprOperations:
+    def setup_method(self):
+        self.x = Variable("x")
+        self.y = Variable("y")
+
+    def test_substitute(self):
+        expr = 2 * self.x + self.y
+        replaced = expr.substitute(self.x, self.y + 3)
+        assert replaced.coeff(self.x) == 0
+        assert replaced.coeff(self.y) == 3
+        assert replaced.constant == 6
+
+    def test_substitute_absent_variable_is_identity(self):
+        expr = self.y + 1
+        assert expr.substitute(self.x, const(99)) == expr
+
+    def test_evaluate(self):
+        expr = 2 * self.x - self.y + 1
+        assert expr.evaluate({self.x: 3, self.y: 5}) == 2
+
+    def test_coefficients_gcd(self):
+        assert (4 * self.x + 6 * self.y).coefficients_gcd() == 2
+        assert const(5).coefficients_gcd() == 0
+
+    def test_scale_and_floor(self):
+        expr = (2 * self.x + 2 * self.y + 3).scale_and_floor(2)
+        assert expr.coeff(self.x) == 1
+        assert expr.constant == 1  # floor(3/2)
+
+    def test_scale_and_floor_negative_constant(self):
+        expr = (2 * self.x - 3).scale_and_floor(2)
+        assert expr.constant == -2  # floor(-3/2)
+
+    def test_scale_and_floor_requires_divisible_coeffs(self):
+        with pytest.raises(ValueError):
+            (3 * self.x).scale_and_floor(2)
+
+    def test_exact_div(self):
+        expr = (4 * self.x + 8).exact_div(4)
+        assert expr.coeff(self.x) == 1
+        assert expr.constant == 2
+
+    def test_exact_div_requires_divisible_constant(self):
+        with pytest.raises(ValueError):
+            (4 * self.x + 3).exact_div(4)
+
+    def test_key_ignores_constant(self):
+        assert (self.x + 1).key() == (self.x + 99).key()
+        assert (self.x + 1).key() != (2 * self.x).key()
+
+    def test_equality_and_hash(self):
+        a = 2 * self.x + 1
+        b = 2 * self.x + 1
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != 2 * self.x
+
+    def test_str_rendering(self):
+        assert str(self.x + 1) == "x+1"
+        assert str(-self.x) == "-x"
+        assert str(LinearExpr()) == "0"

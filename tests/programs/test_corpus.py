@@ -1,0 +1,74 @@
+"""Corpus program sanity tests."""
+
+import pytest
+
+from repro.ir import parse, run_program, to_text
+from repro.programs import CORPUS, PAPER_EXAMPLES, cholsky, corpus_programs
+
+
+class TestCorpusIntegrity:
+    def test_all_programs_build(self):
+        programs = corpus_programs()
+        assert len(programs) >= 20
+        names = [p.name for p in programs]
+        assert len(set(names)) == len(names)
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_round_trip_through_printer(self, name):
+        program = CORPUS[name]()
+        text = to_text(program)
+        reparsed = parse(text, name)
+        assert len(reparsed.statements) == len(program.statements)
+
+    @pytest.mark.parametrize("number", sorted(PAPER_EXAMPLES))
+    def test_paper_examples_build(self, number):
+        program = PAPER_EXAMPLES[number]()
+        assert program.statements
+
+    def test_every_affine_program_interpretable(self):
+        defaults = dict(
+            n=4, m=5, w=1, steps=2, N=3, M=2, NMAT=1, NRHS=1, EPS=1, s=2,
+            maxB=2, x=1, y=2,
+        )
+        for program in corpus_programs():
+            symbols = {
+                name: defaults.get(name, 2)
+                for name in program.symbolic_constants
+            }
+            trace = run_program(program, symbols)
+            assert trace.events, program.name
+
+
+class TestCholskyStructure:
+    def test_statement_labels_match_paper(self):
+        program = cholsky()
+        assert [s.label for s in program.statements] == [
+            "3", "2", "4", "5", "1", "8", "7", "9", "6",
+        ]
+
+    def test_access_counts(self):
+        program = cholsky()
+        assert len(program.writes()) == 9
+        assert len(program.reads()) == 20
+
+    def test_loop_structure(self):
+        program = cholsky()
+        stmt3 = program.statement("3")
+        assert stmt3.loop_vars == ("J", "I", "JJ", "L")
+        stmt6 = program.statement("6")
+        assert stmt6.loop_vars == ("I", "K2", "JJ", "L")
+
+    def test_max_bounds_present(self):
+        program = cholsky()
+        stmt3 = program.statement("3")
+        # The I loop has the forward-substituted MAX(-M,-J) lower bound.
+        i_loop = stmt3.loops[1]
+        assert len(i_loop.lowers) == 2
+
+    def test_interpretation_touches_both_arrays(self):
+        program = cholsky()
+        trace = run_program(
+            program, dict(N=3, M=2, NMAT=1, NRHS=1, EPS=1)
+        )
+        arrays = {event.address[0] for event in trace.events}
+        assert {"A", "B", "EPSS"} <= arrays

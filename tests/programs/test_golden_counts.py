@@ -1,0 +1,72 @@
+"""Golden regression counts: apparent vs live flow dependences per kernel.
+
+These pin the analysis outcome for every corpus program, so any future
+change to the solver, the restraint machinery, or the kill/cover logic
+that alters a verdict is caught immediately with a precise diff.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.programs import CORPUS
+
+# program -> (apparent flow dependences, live after kills/covers).
+# Counts are per restraint vector (split dependences count separately),
+# which is why e.g. symbolic_shift reports 2 for its single access pair.
+GOLDEN = {
+    "cholesky": (9, 6),
+    "lu": (6, 5),
+    "wavefront": (3, 3),
+    "wavefront_skewed": (2, 2),
+    "wavefront_banded": (2, 2),
+    "matmul": (2, 2),
+    "stencil3": (4, 4),
+    "sor": (2, 2),
+    "transpose": (1, 1),
+    "forward_sub": (4, 4),
+    "total_overwrite": (2, 1),
+    "strided": (2, 2),
+    "offset_chain": (2, 1),
+    "double_write": (3, 2),
+    "triangular_kill": (2, 2),
+    "diagonal": (1, 1),
+    "symbolic_shift": (2, 2),
+    "antidiag_overwrite": (1, 1),
+    "skewed_copy": (1, 1),
+    "broadcast_shift": (2, 2),
+    "broadcast_shift_covered": (3, 3),
+    "gauss": (6, 5),
+    "red_black": (4, 4),
+    "convolution": (1, 1),
+    "prefix_sum": (1, 1),
+    "banded_matvec": (2, 2),
+    "back_sub": (4, 4),
+    "histogram": (1, 1),
+    "triple_nest": (4, 3),
+    "double_buffer": (2, 2),
+    "periodic": (4, 4),
+}
+
+
+def test_golden_table_covers_corpus():
+    missing = set(CORPUS) - set(GOLDEN) - {"cholsky_nas"}
+    assert not missing, f"add golden counts for {missing}"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_flow_counts_match_golden(name):
+    program = CORPUS[name]()
+    result = analyze(program)
+    apparent = len(result.flow)
+    live = len(result.live_flow())
+    assert (apparent, live) == GOLDEN[name], (
+        f"{name}: expected {GOLDEN[name]}, got {(apparent, live)}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_standard_analysis_never_reports_fewer(name):
+    program = CORPUS[name]()
+    standard = analyze(program, AnalysisOptions(extended=False))
+    assert len(standard.flow) == GOLDEN[name][0]
+    assert len(standard.dead_flow()) == 0

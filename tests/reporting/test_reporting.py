@@ -1,0 +1,126 @@
+"""Reporting layer tests: tables, timing study, figure rendering."""
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.analysis.results import PairCategory
+from repro.ir import parse
+from repro.reporting import (
+    ascii_scatter,
+    collect_pair_timings,
+    comparison_table,
+    figure6_left_summary,
+    figure6_right_summary,
+    figure6_text,
+    figure7_series,
+    figure7_text,
+    flow_rows,
+    flow_tables,
+    format_rows,
+)
+
+SOURCE = """
+a(n) :=
+for i := n to n+10 do a(i) :=
+for i := n to n+20 do := a(i)
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    return analyze(parse(SOURCE, "killer"), AnalysisOptions(record_timings=True))
+
+
+class TestTables:
+    def test_flow_rows_partition(self, result):
+        live, dead = flow_rows(result)
+        assert len(live) == 1
+        assert len(dead) == 1
+        assert dead[0].status == "[k]"
+
+    def test_format_rows_alignment(self, result):
+        live, _dead = flow_rows(result)
+        text = format_rows(live, "title")
+        assert text.startswith("title")
+        assert "FROM" in text and "status" in text
+
+    def test_format_rows_empty(self):
+        assert "(none)" in format_rows([], "nothing")
+
+    def test_flow_tables_combined(self, result):
+        text = flow_tables(result)
+        assert "Live flow dependences" in text
+        assert "Dead flow dependences" in text
+
+
+class TestTimingStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        programs = [
+            parse(SOURCE, "killer"),
+            parse("for i := 1 to n do for j := 2 to m do a(j) := a(j-1)", "ref"),
+        ]
+        return collect_pair_timings(programs)
+
+    def test_counts(self, study):
+        counts = study.counts()
+        assert counts["pairs"] == 3
+        assert counts["fast"] + counts["general"] + counts["split"] == 3
+
+    def test_categories_populated(self, study):
+        groups = study.by_category()
+        assert sum(len(v) for v in groups.values()) == 3
+
+    def test_figure6_left(self, study):
+        summary = figure6_left_summary(study)
+        assert summary["all"]["count"] == 3
+        assert summary["all"]["median_ratio"] >= 1.0
+
+    def test_figure6_right(self, study):
+        summary = figure6_right_summary(study)
+        assert summary["quick_count"] + summary["omega_count"] == len(
+            study.kill_timings
+        )
+
+    def test_figure7_series_sorted(self, study):
+        series = figure7_series(study)
+        extended = [e for _s, e in series]
+        assert extended == sorted(extended)
+
+    def test_figure6_text_renders(self, study):
+        text = figure6_text(study)
+        assert "Figure 6" in text
+        assert "pairs: 3" in text
+
+    def test_figure7_text_renders(self, study):
+        text = figure7_text(figure7_series(study))
+        assert "Figure 7" in text
+        assert "ms |" in text
+
+
+class TestAsciiScatter:
+    def test_empty(self):
+        assert "(no data)" in ascii_scatter([])
+
+    def test_points_plotted(self):
+        text = ascii_scatter([(1.0, 1.0), (10.0, 100.0)], width=20, height=5)
+        assert text.count("*") == 2
+
+    def test_custom_marks(self):
+        text = ascii_scatter(
+            [(1.0, 1.0), (2.0, 2.0)], marks=[".", "o"], width=20, height=5
+        )
+        assert "." in text and "o" in text
+
+    def test_linear_mode(self):
+        text = ascii_scatter([(0.0, 0.0), (1.0, 1.0)], log=False)
+        assert "*" in text
+
+
+class TestComparisonTable:
+    def test_render(self):
+        text = comparison_table(
+            {"example1": {"baseline": 2, "omega_standard": 2, "omega_live": 1}}
+        )
+        assert "example1" in text
+        assert "baseline" in text

@@ -1,0 +1,62 @@
+"""Serialization tests."""
+
+import json
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.ir import parse
+from repro.reporting import dependence_to_dict, result_to_dict, result_to_json
+
+SOURCE = """
+a(n) :=
+for i := n to n+10 do a(i) :=
+for i := n to n+20 do := a(i)
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    return analyze(parse(SOURCE, "ser"), AnalysisOptions(input_deps=True))
+
+
+class TestSerialization:
+    def test_round_trips_through_json(self, result):
+        text = result_to_json(result)
+        data = json.loads(text)
+        assert data["program"] == "ser"
+        assert data["counts"]["flow_live"] == 1
+        assert data["counts"]["flow_dead"] == 1
+
+    def test_statements_listed(self, result):
+        data = result_to_dict(result)
+        labels = [s["label"] for s in data["statements"]]
+        assert labels == ["s1", "s2", "s3"]
+
+    def test_dependence_fields(self, result):
+        dead = [d for d in result.flow if d.eliminated_by is not None]
+        payload = dependence_to_dict(dead[0])
+        assert payload["status"] == "killed"
+        assert payload["eliminated_by"]["kind"] == "output" or payload[
+            "eliminated_by"
+        ]["kind"] == "flow"
+        assert payload["source"]["is_write"]
+        assert not payload["destination"]["is_write"]
+
+    def test_directions_serialized_as_text(self):
+        program = parse(
+            "for i := 1 to n do for j := 2 to m do a(j) := a(j-1)"
+        )
+        result = analyze(program)
+        payload = dependence_to_dict(result.flow[0])
+        assert payload["directions"] == ["(0,1)"]
+        assert payload["unrefined_directions"] == ["(0+,1)"]
+        assert payload["refined"]
+
+    def test_stable_output(self, result):
+        assert result_to_json(result) == result_to_json(result)
+
+    def test_all_kinds_present(self, result):
+        data = result_to_dict(result)
+        for key in ("flow", "anti", "output", "input"):
+            assert key in data

@@ -1,0 +1,98 @@
+"""API surface quality checks: docstrings and export hygiene.
+
+Every public module, class and function reachable from the package
+``__all__`` lists must carry a docstring, and every name exported in an
+``__all__`` must actually exist — the library's documentation contract.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.omega",
+    "repro.ir",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.programs",
+    "repro.reporting",
+]
+
+MODULES = [
+    "repro.omega.terms",
+    "repro.omega.constraints",
+    "repro.omega.eliminate",
+    "repro.omega.solve",
+    "repro.omega.project",
+    "repro.omega.gist",
+    "repro.omega.redblack",
+    "repro.omega.presburger",
+    "repro.omega.simplify",
+    "repro.ir.affine",
+    "repro.ir.ast",
+    "repro.ir.lexer",
+    "repro.ir.parser",
+    "repro.ir.printer",
+    "repro.ir.builder",
+    "repro.ir.interp",
+    "repro.analysis.problem",
+    "repro.analysis.vectors",
+    "repro.analysis.dependences",
+    "repro.analysis.refine",
+    "repro.analysis.cover",
+    "repro.analysis.kills",
+    "repro.analysis.engine",
+    "repro.analysis.results",
+    "repro.analysis.symbolic",
+    "repro.analysis.session",
+    "repro.analysis.applications",
+    "repro.analysis.graph",
+    "repro.analysis.ordering",
+    "repro.baselines.common",
+    "repro.baselines.ziv",
+    "repro.baselines.gcdtest",
+    "repro.baselines.siv",
+    "repro.baselines.banerjee",
+    "repro.baselines.suite",
+    "repro.programs.cholsky",
+    "repro.programs.paper_examples",
+    "repro.programs.corpus",
+    "repro.reporting.tables",
+    "repro.reporting.timing",
+    "repro.reporting.figures",
+    "repro.reporting.serialize",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), name
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", []):
+        assert hasattr(module, export), f"{name}.__all__ lists missing {export}"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_public_callables_documented(name):
+    module = importlib.import_module(name)
+    exports = getattr(module, "__all__", [])
+    for export in exports:
+        obj = getattr(module, export)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__ and obj.__doc__.strip(), (
+                f"{name}.{export} lacks a docstring"
+            )
+
+
+def test_version_exposed():
+    import repro
+
+    assert repro.__version__

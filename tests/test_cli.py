@@ -1,0 +1,103 @@
+"""CLI tests (python -m repro)."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+KILL_PROGRAM = """
+a(n) :=
+for i := n to n+10 do a(i) :=
+for i := n to n+20 do := a(i)
+"""
+
+INDEX_PROGRAM = """
+array A[1:n]
+array Q[1:n]
+for i := 1 to n do A[Q[i]] := A[Q[i+1]-1]
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "kill.loop"
+    path.write_text(KILL_PROGRAM)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_flags(self):
+        args = build_parser().parse_args(
+            ["analyze", "x.loop", "--standard", "--assert", "n <= m"]
+        )
+        assert args.standard
+        assert args.assertions == ["n <= m"]
+
+
+class TestAnalyzeCommand:
+    def test_extended_kills(self, program_file, capsys):
+        assert main(["analyze", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Dead flow dependences" in out
+        assert "[k]" in out
+
+    def test_standard_keeps_everything(self, program_file, capsys):
+        main(["analyze", str(program_file), "--standard"])
+        out = capsys.readouterr().out
+        assert "[k]" not in out
+
+    def test_assertions_flow_through(self, tmp_path, capsys):
+        path = tmp_path / "m.loop"
+        path.write_text(
+            """
+            a(m) :=
+            for i := n to n+10 do a(i) :=
+            for i := n to n+20 do := a(i)
+            """
+        )
+        main(["analyze", str(path)])
+        without = capsys.readouterr().out
+        main(
+            [
+                "analyze",
+                str(path),
+                "--assert",
+                "n <= m",
+                "--assert",
+                "m <= n + 10",
+            ]
+        )
+        with_assert = capsys.readouterr().out
+        assert "[k]" not in without
+        assert "[k]" in with_assert
+
+    def test_all_kinds(self, program_file, capsys):
+        main(["analyze", str(program_file), "--all-kinds"])
+        out = capsys.readouterr().out
+        assert "Output dependences" in out
+
+
+class TestOtherCommands:
+    def test_parallel(self, tmp_path, capsys):
+        path = tmp_path / "p.loop"
+        path.write_text("for i := 1 to n do a(i) := b(i)")
+        main(["parallel", str(path)])
+        assert "PARALLEL" in capsys.readouterr().out
+
+    def test_queries(self, tmp_path, capsys):
+        path = tmp_path / "q.loop"
+        path.write_text(INDEX_PROGRAM)
+        main(["queries", str(path)])
+        out = capsys.readouterr().out
+        assert "never happens" in out
+
+    def test_queries_affine(self, tmp_path, capsys):
+        path = tmp_path / "q.loop"
+        path.write_text("for i := 1 to n do a(i) := a(i-1)")
+        main(["queries", str(path)])
+        assert "no symbolic questions" in capsys.readouterr().out

@@ -1,0 +1,42 @@
+"""The code snippets in docs/USAGE.md and README.md must actually run.
+
+Fenced python blocks are extracted and executed in one shared namespace
+per document (snippets build on each other, as in the text).
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _python_blocks(path: pathlib.Path) -> list[str]:
+    return _FENCE.findall(path.read_text())
+
+
+@pytest.mark.parametrize("name", ["docs/USAGE.md", "README.md"])
+def test_documented_snippets_execute(name):
+    path = ROOT / name
+    blocks = _python_blocks(path)
+    assert blocks, f"{name} contains no python snippets"
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"{name}[{index}]", "exec"), namespace)
+        except Exception as error:  # pragma: no cover - diagnostic
+            pytest.fail(f"snippet {index} of {name} failed: {error}\n{block}")
+
+
+def test_example_scripts_importable():
+    # Every example script must at least parse and expose a main().
+    import importlib.util
+
+    for script in sorted((ROOT / "examples").glob("*.py")):
+        spec = importlib.util.spec_from_file_location(script.stem, script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), script.name

@@ -1,0 +1,112 @@
+"""Shared test utilities: brute-force oracles for the Omega engine.
+
+The differential tests bound every variable inside a small box *as part of
+the problem itself*, so the solver and the enumerator decide exactly the
+same finite question.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from repro.omega import Problem, Variable
+
+
+def boxed(problem: Problem, variables: Sequence[Variable], radius: int) -> Problem:
+    """Return ``problem`` with ``-radius <= v <= radius`` for each variable."""
+
+    result = problem.copy()
+    for var in variables:
+        result.add_bounds(-radius, var, radius)
+    return result
+
+
+def enumerate_box(
+    variables: Sequence[Variable], radius: int
+) -> Iterable[dict[Variable, int]]:
+    """All integer assignments of the variables within the box."""
+
+    values = range(-radius, radius + 1)
+    for combo in itertools.product(values, repeat=len(variables)):
+        yield dict(zip(variables, combo))
+
+
+def brute_force_satisfiable(
+    problem: Problem, variables: Sequence[Variable], radius: int
+) -> bool:
+    """Exhaustively decide satisfiability of a boxed problem."""
+
+    return any(
+        problem.is_satisfied_by(assignment)
+        for assignment in enumerate_box(variables, radius)
+    )
+
+
+def brute_force_solutions(
+    problem: Problem, variables: Sequence[Variable], radius: int
+) -> set[tuple[int, ...]]:
+    """All solutions of a boxed problem as tuples in variable order."""
+
+    found: set[tuple[int, ...]] = set()
+    for assignment in enumerate_box(variables, radius):
+        if problem.is_satisfied_by(assignment):
+            found.add(tuple(assignment[v] for v in variables))
+    return found
+
+
+def brute_force_projection(
+    problem: Problem,
+    all_vars: Sequence[Variable],
+    kept: Sequence[Variable],
+    radius: int,
+) -> set[tuple[int, ...]]:
+    """The exact integer projection of a boxed problem onto ``kept``."""
+
+    solutions = brute_force_solutions(problem, all_vars, radius)
+    positions = [all_vars.index(v) for v in kept]
+    return {tuple(sol[i] for i in positions) for sol in solutions}
+
+
+def piece_satisfied(piece: Problem, assignment: Mapping[Variable, int]) -> bool:
+    """Evaluate a projection piece, handling stride wildcards.
+
+    The projection engine guarantees any wildcard in a piece is the lone
+    wildcard of a stride equality ``b*w + r = 0``, which holds for *some*
+    integer w iff ``b`` divides ``r`` evaluated under the assignment.
+    """
+
+    for constraint in piece.constraints:
+        wilds = [v for v in constraint.variables() if v.is_wildcard]
+        if not wilds:
+            if not constraint.is_satisfied_by(assignment):
+                return False
+            continue
+        assert constraint.is_equality and len(wilds) == 1, (
+            f"unexpected wildcard shape in piece constraint {constraint}"
+        )
+        w = wilds[0]
+        b = abs(constraint.coeff(w))
+        from repro.omega import LinearExpr
+
+        rest = constraint.expr + LinearExpr({w: -constraint.coeff(w)})
+        if rest.evaluate(assignment) % b != 0:
+            return False
+    return True
+
+
+def union_members(
+    pieces: Iterable[Problem], kept: Sequence[Variable], radius: int
+) -> set[tuple[int, ...]]:
+    """Points of the box (over ``kept``) satisfying any piece.
+
+    Pieces may contain stride wildcards; those are checked as divisibility
+    constraints.
+    """
+
+    pieces = list(pieces)
+    members: set[tuple[int, ...]] = set()
+    for assignment in enumerate_box(list(kept), radius):
+        if any(piece_satisfied(piece, assignment) for piece in pieces):
+            members.add(tuple(assignment[v] for v in kept))
+    return members
