@@ -7,28 +7,42 @@ test keeps without kills, and how many survive the extended analysis —
 quantifying the paper's claim that the conservative *question* (not the
 tests' precision) is what produces false dependences.
 
+The survey also collects the full ``repro.obs`` metrics registry (one
+scope per program plus a corpus-wide aggregate) and writes the snapshot to
+``results/metrics_corpus.json``.
+
 Run:  python examples/corpus_survey.py            (skips CHOLSKY: slow)
       python examples/corpus_survey.py --all
 """
 
+import json
+import pathlib
 import sys
 
 from repro.baselines import compare_with_omega
+from repro.obs import MetricsRegistry, collecting
 from repro.programs import corpus_programs
 from repro.reporting import comparison_table
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
 def main() -> None:
     include_cholsky = "--all" in sys.argv
     rows = {}
-    for program in corpus_programs():
-        if program.name == "CHOLSKY" and not include_cholsky:
-            continue
-        rows[program.name] = compare_with_omega(program)
-        counts = rows[program.name]
-        eliminated = counts["omega_standard"] - counts["omega_live"]
-        note = f"  ({eliminated} false dependences eliminated)" if eliminated else ""
-        print(f"analysed {program.name:<24}{note}")
+    per_program: dict[str, MetricsRegistry] = {}
+    totals = MetricsRegistry()
+    with collecting(totals):
+        for program in corpus_programs():
+            if program.name == "CHOLSKY" and not include_cholsky:
+                continue
+            with collecting(MetricsRegistry()) as registry:
+                rows[program.name] = compare_with_omega(program)
+            per_program[program.name] = registry
+            counts = rows[program.name]
+            eliminated = counts["omega_standard"] - counts["omega_live"]
+            note = f"  ({eliminated} false dependences eliminated)" if eliminated else ""
+            print(f"analysed {program.name:<24}{note}")
     print()
     print(comparison_table(rows))
     total_std = sum(r["omega_standard"] for r in rows.values())
@@ -38,6 +52,17 @@ def main() -> None:
         f"{total_live} live after kills "
         f"({total_std - total_live} false dependences eliminated)"
     )
+
+    RESULTS.mkdir(exist_ok=True)
+    snapshot = {
+        "programs": {
+            name: registry.to_dict() for name, registry in per_program.items()
+        },
+        "totals": totals.to_dict(),
+    }
+    out = RESULTS / "metrics_corpus.json"
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"metrics written to {out}")
 
 
 if __name__ == "__main__":

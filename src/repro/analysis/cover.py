@@ -17,6 +17,8 @@ tests instead, exactly as the paper describes).
 
 from __future__ import annotations
 
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from ..omega import Problem, Variable, is_satisfiable
 from ..omega.errors import OmegaComplexityError
 from ..omega.gist import implies_union
@@ -35,6 +37,7 @@ def cover_quick_reject(dep: Dependence) -> bool:
 
     for level in range(len(dep.deltas)):
         if not any(vector[level].admits(0) for vector in dep.directions):
+            _metrics.inc("analysis.cover_quick_rejects")
             return True
     return False
 
@@ -63,12 +66,18 @@ def covers_destination(dep: Dependence, *, use_quick_test: bool = True) -> bool:
 
     if use_quick_test and cover_quick_reject(dep):
         return False
-    keep = list(dep.pair.dst_ctx.loop_vars) + dep.pair.sym_vars()
-    lhs = Problem(
-        list(dep.pair.dst_ctx.domain.constraints) + list(dep.pair.assertions),
-        name=f"[{dep.dst}]",
-    )
-    return _check_universal_coverage(dep, keep, lhs)
+    _metrics.inc("analysis.covers_tested")
+    with _span("analysis.cover", src=dep.src, dst=dep.dst):
+        keep = list(dep.pair.dst_ctx.loop_vars) + dep.pair.sym_vars()
+        lhs = Problem(
+            list(dep.pair.dst_ctx.domain.constraints)
+            + list(dep.pair.assertions),
+            name=f"[{dep.dst}]",
+        )
+        covers = _check_universal_coverage(dep, keep, lhs)
+    if covers:
+        _metrics.inc("analysis.covers_found")
+    return covers
 
 
 def terminates_source(dep: Dependence, *, use_quick_test: bool = True) -> bool:
@@ -82,9 +91,14 @@ def terminates_source(dep: Dependence, *, use_quick_test: bool = True) -> bool:
         return False
     if use_quick_test and cover_quick_reject(dep):
         return False
-    keep = list(dep.pair.src_ctx.loop_vars) + dep.pair.sym_vars()
-    lhs = Problem(
-        list(dep.pair.src_ctx.domain.constraints) + list(dep.pair.assertions),
-        name=f"[{dep.src}]",
-    )
-    return _check_universal_coverage(dep, keep, lhs)
+    with _span("analysis.terminate", src=dep.src, dst=dep.dst):
+        keep = list(dep.pair.src_ctx.loop_vars) + dep.pair.sym_vars()
+        lhs = Problem(
+            list(dep.pair.src_ctx.domain.constraints)
+            + list(dep.pair.assertions),
+            name=f"[{dep.src}]",
+        )
+        terminates = _check_universal_coverage(dep, keep, lhs)
+    if terminates:
+        _metrics.inc("analysis.terminators_found")
+    return terminates

@@ -12,16 +12,28 @@ Follows the paper's pipeline (Section 4):
    kills.
 
 Timing and classification per array pair is recorded for the Figure 6/7
-reproductions.
+reproductions.  All timing is span-based (``repro.obs.trace``): the engine
+wraps its phases and per-pair work in ``span(...)`` blocks and derives
+:class:`PairRecord` / :class:`KillTiming` durations from them, so the same
+substrate feeds the figures, Chrome-trace export and the metrics registry.
+With ``explain=True`` the engine additionally records a structured decision
+trail (:class:`repro.obs.explain.ExplainLog`) of why each dependence was
+refined, covered, killed or kept.
 """
 
 from __future__ import annotations
 
-import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..ir.ast import Access, Program
+from ..obs import metrics as _metrics
+from ..obs.explain import ExplainLog
+from ..obs.trace import Tracer
+from ..obs.trace import active as _tracing_active
+from ..obs.trace import span as _span
+from ..obs.trace import tracing as _tracing
 from ..omega import Constraint
 from .cover import cover_quick_reject, covers_destination, terminates_source
 from .dependences import (
@@ -36,6 +48,12 @@ from .refine import refine_dependence
 from .results import AnalysisResult, KillTiming, PairCategory, PairRecord
 
 __all__ = ["AnalysisOptions", "analyze", "Analyzer"]
+
+
+def _subject(dep: Dependence) -> str:
+    """A stable explain-mode key for a dependence (no mutable tags)."""
+
+    return f"{dep.kind.value}: {dep.src} -> {dep.dst}"
 
 
 @dataclass
@@ -63,6 +81,9 @@ class AnalysisOptions:
     assertions: tuple[Constraint, ...] = ()
     #: Record per-pair timings (adds a second, standard-only pass).
     record_timings: bool = False
+    #: Record a structured decision trail (why each dependence was killed,
+    #: covered, refined or kept) in ``result.explain``.
+    explain: bool = False
 
 
 def analyze(program: Program, options: AnalysisOptions | None = None) -> AnalysisResult:
@@ -85,18 +106,37 @@ class Analyzer:
         #: For options.terminate: write A -> terminating output deps A->B
         #: (B overwrites everything A wrote).
         self.terminators: dict[Access, list[Dependence]] = {}
+        self.explain: ExplainLog | None = (
+            ExplainLog() if options.explain else None
+        )
+        self.result.explain = self.explain
 
     # ------------------------------------------------------------------
     def run(self) -> AnalysisResult:
+        # Timing records are span-derived; when the caller asked for them
+        # without installing a tracer, run under a private one.
+        tracer: Tracer | None = None
+        if self.options.record_timings and not _tracing_active():
+            tracer = Tracer()
+            self.result.trace = tracer
+        with _tracing(tracer) if tracer is not None else nullcontext():
+            with _span("analysis.analyze", program=self.program.name):
+                self._run_phases()
+        return self.result
+
+    def _run_phases(self) -> None:
         writes = self.program.writes()
         reads = self.program.reads()
 
-        self._compute_output_dependences(writes)
-        self._compute_anti_dependences(reads, writes)
-        self._compute_flow_dependences(reads, writes)
+        with _span("analysis.phase.output"):
+            self._compute_output_dependences(writes)
+        with _span("analysis.phase.anti"):
+            self._compute_anti_dependences(reads, writes)
+        with _span("analysis.phase.flow"):
+            self._compute_flow_dependences(reads, writes)
         if self.options.input_deps:
-            self._compute_input_dependences(reads)
-        return self.result
+            with _span("analysis.phase.input"):
+                self._compute_input_dependences(reads)
 
     # ------------------------------------------------------------------
     def _compute_output_dependences(self, writes: Sequence[Access]) -> None:
@@ -202,42 +242,70 @@ class Analyzer:
                 self._apply_terminators(per_read)
             if self.options.extended and self.options.kill:
                 self._apply_kills(per_read, kill_tester)
+            if self.explain is not None:
+                for dep in per_read:
+                    if dep.status is DependenceStatus.LIVE:
+                        self.explain.record(
+                            _subject(dep),
+                            "kept",
+                            "no covering or killing write eliminates it",
+                        )
             self.result.flow.extend(per_read)
 
     def _analyze_pair(self, write: Access, read: Access) -> list[Dependence]:
         """Standard + extended analysis of one array pair, with timing."""
 
-        t0 = time.perf_counter()
-        deps = compute_dependences(
-            write,
-            read,
-            DependenceKind.FLOW,
-            self.symbols,
-            assertions=self.options.assertions,
-            array_bounds=self.program.array_bounds,
-        )
-        t_standard = time.perf_counter() - t0
+        _metrics.inc("analysis.pairs_analyzed")
+        with _span("analysis.pair", src=write, dst=read) as pair_span:
+            with _span("analysis.pair.standard") as standard_span:
+                deps = compute_dependences(
+                    write,
+                    read,
+                    DependenceKind.FLOW,
+                    self.symbols,
+                    assertions=self.options.assertions,
+                    array_bounds=self.program.array_bounds,
+                )
 
-        consulted_omega = False
-        if self.options.extended and deps:
-            refined: list[Dependence] = []
-            for dep in deps:
-                if self.options.refine and self._refine_quick_allows(dep):
-                    outcome = refine_dependence(
-                        dep, partial=self.options.partial_refine
-                    )
-                    consulted_omega = consulted_omega or outcome.attempted
-                    dep = outcome.dependence
-                refined.append(dep)
-            deps = refined
-            if self.options.cover:
+            consulted_omega = False
+            if self.options.extended and deps:
+                refined: list[Dependence] = []
                 for dep in deps:
-                    if cover_quick_reject(dep):
-                        continue
-                    consulted_omega = True
-                    dep.covers = covers_destination(dep, use_quick_test=False)
-        t_extended = time.perf_counter() - t0
+                    if self.options.refine and self._refine_quick_allows(dep):
+                        outcome = refine_dependence(
+                            dep, partial=self.options.partial_refine
+                        )
+                        consulted_omega = consulted_omega or outcome.attempted
+                        if (
+                            self.explain is not None
+                            and outcome.dependence is not dep
+                            and outcome.dependence.refined
+                        ):
+                            self._explain_refinement(outcome.dependence)
+                        dep = outcome.dependence
+                    refined.append(dep)
+                deps = refined
+                if self.options.cover:
+                    for dep in deps:
+                        if cover_quick_reject(dep):
+                            continue
+                        consulted_omega = True
+                        dep.covers = covers_destination(
+                            dep, use_quick_test=False
+                        )
+                        if dep.covers and self.explain is not None:
+                            self.explain.record(
+                                _subject(dep),
+                                "covers",
+                                "every element the destination accesses was "
+                                "previously written by this source",
+                                used_omega=True,
+                            )
 
+        if deps:
+            _metrics.inc("analysis.dependences_found", len(deps))
+        if pair_span.duration:
+            _metrics.observe("analysis.pair_seconds", pair_span.duration)
         if self.options.record_timings:
             if not consulted_omega:
                 category = PairCategory.FAST
@@ -247,10 +315,26 @@ class Analyzer:
                 category = PairCategory.GENERAL
             self.result.pair_records.append(
                 PairRecord(
-                    write, read, t_standard, t_extended, category, len(deps)
+                    write,
+                    read,
+                    standard_span.duration,
+                    pair_span.duration,
+                    category,
+                    len(deps),
                 )
             )
         return deps
+
+    def _explain_refinement(self, dep: Dependence) -> None:
+        before = ", ".join(str(v) for v in dep.unrefined_directions)
+        self.explain.record(
+            _subject(dep),
+            "refined",
+            f"distance narrowed from ({before}) to ({dep.direction_text()}): "
+            "every destination iteration still receives the value from the "
+            "refined source",
+            used_omega=True,
+        )
 
     def _refine_quick_allows(self, dep: Dependence) -> bool:
         """Quick test: refinement in some loop needs a self-output
@@ -281,6 +365,15 @@ class Analyzer:
                 if self._completely_before(dep.src, cover.src):
                     dep.status = DependenceStatus.COVERED
                     dep.eliminated_by = cover
+                    _metrics.inc("analysis.deps_covered")
+                    if self.explain is not None:
+                        self.explain.record(
+                            _subject(dep),
+                            "covered",
+                            "its source runs entirely before a covering "
+                            "write of the same destination",
+                            by=_subject(cover),
+                        )
 
     @staticmethod
     def _completely_before(a: Access, b: Access) -> bool:
@@ -299,10 +392,19 @@ class Analyzer:
         for dep in deps:
             if dep.status is not DependenceStatus.LIVE:
                 continue
-            for terminator in self.terminators.get(dep.src, ()):  
+            for terminator in self.terminators.get(dep.src, ()):
                 if self._completely_before(terminator.dst, dep.dst):
                     dep.status = DependenceStatus.KILLED
                     dep.eliminated_by = terminator
+                    _metrics.inc("analysis.deps_killed")
+                    if self.explain is not None:
+                        self.explain.record(
+                            _subject(dep),
+                            "terminated",
+                            "a terminating write overwrites everything the "
+                            "source wrote before the destination runs",
+                            by=_subject(terminator),
+                        )
                     break
 
     def _apply_kills(
@@ -316,24 +418,34 @@ class Analyzer:
                     continue
                 if killer.status is not DependenceStatus.LIVE:
                     continue
-                t0 = time.perf_counter()
                 killed = tester.kills(victim, killer)
-                elapsed = time.perf_counter() - t0
+                record = tester.records[-1]
                 if self.options.record_timings:
                     self.result.kill_timings.append(
                         KillTiming(
                             victim.src,
                             killer.src,
                             victim.dst,
-                            elapsed,
+                            record.elapsed,
                             self._pair_time(victim.src, victim.dst),
-                            tester.records[-1].used_omega,
+                            record.used_omega,
                             killed,
                         )
                     )
                 if killed:
                     victim.status = DependenceStatus.KILLED
                     victim.eliminated_by = killer
+                    _metrics.inc("analysis.deps_killed")
+                    if self.explain is not None:
+                        self.explain.record(
+                            _subject(victim),
+                            "killed",
+                            "every element it carries is overwritten by an "
+                            "intervening write before the destination reads "
+                            "it",
+                            by=_subject(killer),
+                            used_omega=record.used_omega,
+                        )
                     break
 
     def _pair_time(self, src: Access, dst: Access) -> float:

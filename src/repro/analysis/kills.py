@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..ir.ast import Access
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from ..omega import Problem, Variable, is_satisfiable
 from ..omega.errors import OmegaComplexityError
 from ..omega.gist import implies_union
@@ -149,15 +151,34 @@ class KillTester:
             return False
         if not killer.src.is_write:
             return False
+        _metrics.inc("analysis.kills_attempted")
+        with _span(
+            "analysis.kill",
+            victim=victim.src,
+            killer=killer.src,
+            dst=victim.dst,
+        ) as sp:
+            record = self._decide(victim, killer)
+        record.elapsed = sp.duration
+        self.records.append(record)
+        if record.killed:
+            _metrics.inc("analysis.kills_succeeded")
+        if record.used_omega:
+            _metrics.inc("analysis.kill_omega_tests")
+        if sp.duration:
+            _metrics.observe("analysis.kill_seconds", sp.duration)
+        return record.killed
+
+    def _decide(self, victim: Dependence, killer: Dependence) -> KillRecord:
+        """Quick tests first, then the general (Omega-backed) test."""
+
         if kill_quick_reject(victim, killer, self.output_pairs):
-            self.records.append(KillRecord(victim, killer, False, False))
-            return False
+            _metrics.inc("analysis.kill_quick_rejects")
+            return KillRecord(victim, killer, False, False)
         if closer_cover_quick_kill(victim, killer):
-            self.records.append(KillRecord(victim, killer, True, False))
-            return True
-        result = self._general_test(victim, killer)
-        self.records.append(KillRecord(victim, killer, result, True))
-        return result
+            return KillRecord(victim, killer, True, False)
+        killed = self._general_test(victim, killer)
+        return KillRecord(victim, killer, killed, True)
 
     # ------------------------------------------------------------------
     def _general_test(self, victim: Dependence, killer: Dependence) -> bool:

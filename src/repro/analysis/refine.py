@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Sequence
 
+from ..obs import metrics as _metrics
+from ..obs.trace import span as _span
 from ..omega import Problem, Variable, is_satisfiable
 from ..omega.errors import OmegaComplexityError
 from ..omega.gist import implies_union
@@ -71,6 +73,16 @@ def refine_dependence(
     direction vectors preserved in ``unrefined_directions``.
     """
 
+    with _span("analysis.refine", src=dep.src, dst=dep.dst):
+        outcome = _refine(dep, partial)
+    if outcome.attempted:
+        _metrics.inc("analysis.refinements_attempted")
+    if outcome.dependence is not dep and outcome.dependence.refined:
+        _metrics.inc("analysis.refinements_applied")
+    return outcome
+
+
+def _refine(dep: Dependence, partial: bool) -> RefinementOutcome:
     deltas = dep.deltas
     if not deltas:
         return RefinementOutcome(dep, False, 0)

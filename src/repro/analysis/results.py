@@ -7,6 +7,8 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..ir.ast import Access, Program
+from ..obs.explain import ExplainLog
+from ..obs.trace import Tracer
 from .dependences import Dependence, DependenceKind, DependenceStatus
 
 __all__ = ["PairCategory", "PairRecord", "KillTiming", "AnalysisResult"]
@@ -66,6 +68,11 @@ class AnalysisResult:
     input: list[Dependence] = field(default_factory=list)
     pair_records: list[PairRecord] = field(default_factory=list)
     kill_timings: list[KillTiming] = field(default_factory=list)
+    #: The decision trail, when ``AnalysisOptions(explain=True)``.
+    explain: ExplainLog | None = None
+    #: The engine's private tracer, when it had to create one for timing
+    #: (``record_timings=True`` with no caller-installed tracer).
+    trace: Tracer | None = None
 
     # ------------------------------------------------------------------
     def live_flow(self) -> list[Dependence]:

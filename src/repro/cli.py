@@ -7,7 +7,14 @@ Commands
     Parse a mini-language program and print its live/dead flow dependence
     tables (add ``--standard`` for the conservative memory-based analysis,
     ``--assert "n <= m"`` for symbolic assertions, ``--all-kinds`` to list
-    anti/output dependences too).
+    anti/output dependences too).  Observability flags: ``--explain``
+    prints the per-dependence decision trail, ``--stats`` the metrics
+    summary, ``--trace-out t.json`` / ``--metrics-out m.json`` write the
+    Chrome-trace and metrics snapshots.
+
+``trace FILE``
+    Run the extended analysis under the span tracer and write a
+    Chrome-trace / Perfetto-compatible JSON (and optionally JSONL events).
 
 ``parallel FILE``
     Loop-by-loop parallelization report (with privatization suggestions).
@@ -25,6 +32,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+from contextlib import ExitStack
 from typing import Sequence
 
 from .analysis import (
@@ -35,6 +43,7 @@ from .analysis import (
     parse_assertion,
 )
 from .ir import parse
+from .obs import MetricsRegistry, Tracer, collecting, tracing
 from .reporting import flow_tables
 
 __all__ = ["main", "build_parser"]
@@ -84,6 +93,51 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full analysis as JSON instead of tables",
     )
+    analyze_cmd.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the decision trail (why each dependence lived or died)",
+    )
+    analyze_cmd.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the metrics summary after the tables",
+    )
+    analyze_cmd.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        metavar="PATH",
+        help="write a Chrome-trace JSON of the analysis spans",
+    )
+    analyze_cmd.add_argument(
+        "--metrics-out",
+        type=pathlib.Path,
+        metavar="PATH",
+        help="write the metrics registry snapshot as JSON",
+    )
+
+    trace_cmd = commands.add_parser(
+        "trace", help="run the analysis under the tracer, write Chrome-trace JSON"
+    )
+    trace_cmd.add_argument("file", type=pathlib.Path)
+    trace_cmd.add_argument(
+        "-o",
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("trace.json"),
+        help="Chrome-trace output path (default: trace.json)",
+    )
+    trace_cmd.add_argument(
+        "--jsonl",
+        type=pathlib.Path,
+        metavar="PATH",
+        help="also write one JSON span event per line to PATH",
+    )
+    trace_cmd.add_argument(
+        "--standard",
+        action="store_true",
+        help="trace the conservative memory-based analysis instead",
+    )
 
     parallel_cmd = commands.add_parser(
         "parallel", help="loop parallelization / privatization report"
@@ -111,21 +165,57 @@ def _cmd_analyze(args) -> int:
         extended=not args.standard,
         partial_refine=args.partial_refine,
         assertions=tuple(parse_assertion(text) for text in args.assertions),
+        explain=args.explain,
     )
-    result = analyze(program, options)
+    tracer = Tracer() if args.trace_out else None
+    registry = MetricsRegistry() if (args.stats or args.metrics_out) else None
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(tracing(tracer))
+        if registry is not None:
+            stack.enter_context(collecting(registry))
+        result = analyze(program, options)
     if args.json:
         from .reporting import result_to_json
 
         print(result_to_json(result))
-        return 0
-    print(flow_tables(result))
-    if args.all_kinds:
-        print("Anti dependences")
-        for dep in result.anti:
-            print(f"  {dep.describe()}")
-        print("Output dependences")
-        for dep in result.output:
-            print(f"  {dep.describe()}")
+    else:
+        print(flow_tables(result))
+        if args.all_kinds:
+            print("Anti dependences")
+            for dep in result.anti:
+                print(f"  {dep.describe()}")
+            print("Output dependences")
+            for dep in result.output:
+                print(f"  {dep.describe()}")
+        if args.explain and result.explain is not None:
+            print()
+            print(result.explain.render())
+        if args.stats and registry is not None:
+            print()
+            print(registry.summary())
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out and registry is not None:
+        args.metrics_out.write_text(registry.to_json() + "\n")
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    program = _load(args.file)
+    options = AnalysisOptions(extended=not args.standard)
+    tracer = Tracer()
+    with tracing(tracer):
+        analyze(program, options)
+    tracer.write_chrome_trace(args.out)
+    if args.jsonl:
+        tracer.write_jsonl(args.jsonl)
+    names = tracer.span_names()
+    print(f"{len(tracer.events)} spans ({len(names)} sites) written to {args.out}")
+    for name in sorted(names):
+        print(f"  {name}")
     return 0
 
 
@@ -164,6 +254,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "analyze": _cmd_analyze,
+        "trace": _cmd_trace,
         "parallel": _cmd_parallel,
         "queries": _cmd_queries,
         "cholsky": _cmd_cholsky,

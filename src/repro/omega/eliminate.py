@@ -29,6 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..obs import metrics as _metrics
+from ..obs import off as _obs_off
+from ..obs.trace import span as _span
 from .constraints import Constraint, NormalizeStatus, Problem, Relation
 from .errors import OmegaComplexityError, OmegaError
 from .terms import LinearExpr, Variable, fresh_wildcard
@@ -134,6 +137,18 @@ def eliminate_equalities(
     wildcard of a stride equality.
     """
 
+    if _obs_off():
+        return _eliminate_equalities(problem, protected)
+    with _span("omega.eliminate_equalities"):
+        result = _eliminate_equalities(problem, protected)
+    if result.substitutions:
+        _metrics.inc("omega.equality_substitutions", len(result.substitutions))
+    return result
+
+
+def _eliminate_equalities(
+    problem: Problem, protected: frozenset[Variable]
+) -> EqualityEliminationResult:
     current, status = problem.normalized()
     result = EqualityEliminationResult(current)
     if status is NormalizeStatus.UNSATISFIABLE:
@@ -270,6 +285,26 @@ def fourier_motzkin(
     splinter budget is exceeded.
     """
 
+    if _obs_off():
+        return _fourier_motzkin(problem, var, want_splinters, max_splinters)
+    _metrics.inc("omega.fm_calls")
+    with _span("omega.fourier_motzkin", var=var.name):
+        result = _fourier_motzkin(problem, var, want_splinters, max_splinters)
+    if not result.exact:
+        _metrics.inc("omega.fm_inexact")
+        if result.splinters:
+            _metrics.inc(
+                "omega.fm_splinters_generated", len(result.splinters)
+            )
+    return result
+
+
+def _fourier_motzkin(
+    problem: Problem,
+    var: Variable,
+    want_splinters: bool,
+    max_splinters: int,
+) -> FMResult:
     keep: list[Constraint] = []
     lowers: list[tuple[int, LinearExpr]] = []  # b, rest: b*var + rest >= 0
     uppers: list[tuple[int, LinearExpr]] = []  # -a, rest: -a*var + rest >= 0

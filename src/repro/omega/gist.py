@@ -18,6 +18,9 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from ..obs import metrics as _metrics
+from ..obs import off as _obs_off
+from ..obs.trace import span as _span
 from .constraints import Constraint, Problem, Relation
 from .errors import OmegaComplexityError
 from .project import Projection, project
@@ -42,6 +45,13 @@ class GistStats:
     kept_no_positive_pair: int = 0
     dropped_pairwise: int = 0
     naive_tests: int = 0
+    dropped_naive: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Constraints of p removed as redundant ("simplifications")."""
+
+        return self.dropped_single + self.dropped_pairwise + self.dropped_naive
 
 
 def _implied_by_single(e: Constraint, other: Constraint) -> bool:
@@ -107,9 +117,40 @@ def gist(
     If q itself is unsatisfiable the gist is ``True`` (anything is implied).
     """
 
-    from .constraints import NormalizeStatus
-
     stats = stats if stats is not None else GistStats()
+    if _obs_off():
+        return _gist(
+            p,
+            q,
+            stats,
+            stop_if_not_true=stop_if_not_true,
+            use_fast_checks=use_fast_checks,
+        )
+    with _span("omega.gist", p=p.name, q=q.name):
+        result = _gist(
+            p,
+            q,
+            stats,
+            stop_if_not_true=stop_if_not_true,
+            use_fast_checks=use_fast_checks,
+        )
+    _metrics.inc("omega.gists")
+    if stats.dropped:
+        _metrics.inc("omega.gist_simplifications", stats.dropped)
+    if stats.naive_tests:
+        _metrics.inc("omega.gist_naive_tests", stats.naive_tests)
+    return result
+
+
+def _gist(
+    p: Problem,
+    q: Problem,
+    stats: GistStats,
+    *,
+    stop_if_not_true: bool,
+    use_fast_checks: bool,
+) -> Problem:
+    from .constraints import NormalizeStatus
 
     p_norm, p_status = p.normalized()
     if p_status is NormalizeStatus.UNSATISFIABLE:
@@ -153,6 +194,8 @@ def gist(
                 if stop_if_not_true:
                     return Problem(result, name=f"gist {p.name}")
                 context_q.append(e)
+            else:
+                stats.dropped_naive += 1
         gist_problem = Problem(result, name=f"gist {p.name}")
         normalized, _ = gist_problem.normalized()
         normalized.name = gist_problem.name
@@ -242,7 +285,9 @@ def gist(
             if stop_if_not_true:
                 return Problem(result, name=f"gist {p.name}")
             context_q.append(e)
-        # otherwise e is redundant given the remainder: drop it.
+        else:
+            # e is redundant given the remainder: drop it.
+            stats.dropped_naive += 1
 
     gist_problem = Problem(result, name=f"gist {p.name}")
     normalized, _ = gist_problem.normalized()

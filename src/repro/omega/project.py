@@ -17,6 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..obs import metrics as _metrics
+from ..obs import off as _obs_off
+from ..obs.trace import span as _span
 from .constraints import NormalizeStatus, Problem
 from .eliminate import choose_variable, eliminate_equalities, fourier_motzkin
 from .errors import OmegaComplexityError
@@ -80,6 +83,20 @@ def project(problem: Problem, keep: Iterable[Variable]) -> Projection:
     """
 
     kept = frozenset(keep)
+    if _obs_off():
+        return _project(problem, kept)
+    with _span("omega.project", kept=len(kept)):
+        projection = _project(problem, kept)
+    _metrics.inc("omega.projections")
+    _metrics.inc("omega.projection_pieces", len(projection.pieces))
+    if projection.splintered:
+        _metrics.inc("omega.projections_splintered")
+    if not projection.exact_union:
+        _metrics.inc("omega.projections_inexact")
+    return projection
+
+
+def _project(problem: Problem, kept: frozenset[Variable]) -> Projection:
     pieces: list[Problem] = []
     exact = True
     try:

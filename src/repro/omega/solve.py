@@ -7,9 +7,11 @@ check if S0 != empty or T = empty.  Only if both tests fail are we required
 to examine S1, S2, ..., Sp" — i.e. try the dark shadow, rule out via the
 real shadow, and fall back to splinters.
 
-The module keeps lightweight statistics (:class:`OmegaStats`) so the
-experiment harness can report how often the expensive machinery fires, which
-is what Figure 6 of the paper measures.
+Statistics now flow through the general metrics registry in
+:mod:`repro.obs.metrics`: every solver counter is emitted as an
+``omega.*`` metric, and :class:`OmegaStats` / :func:`collect_stats` remain
+as a thin compatibility facade over that registry (the experiment harness
+and Figure 6 reproduction read them unchanged).
 """
 
 from __future__ import annotations
@@ -18,6 +20,9 @@ import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from ..obs import metrics as _metrics
+from ..obs import off as _obs_off
+from ..obs.trace import span as _span
 from .constraints import NormalizeStatus, Problem
 from .eliminate import choose_variable, eliminate_equalities, fourier_motzkin
 from .errors import OmegaComplexityError
@@ -29,7 +34,13 @@ _MAX_DEPTH = 200
 
 @dataclass
 class OmegaStats:
-    """Counters describing the work done by the solver."""
+    """Counters describing the work done by the solver.
+
+    Compatibility facade: since the introduction of ``repro.obs`` these
+    counts are mirrored from the ``omega.*`` counters of the metrics
+    registry (see :data:`repro.obs.metrics.CATALOG`); the dataclass shape
+    and semantics are unchanged.
+    """
 
     satisfiability_tests: int = 0
     eliminations: int = 0
@@ -41,6 +52,29 @@ class OmegaStats:
     def merge(self, other: "OmegaStats") -> None:
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+#: Metric name for each legacy stats field, interned once.
+_METRIC_NAME = {
+    name: f"omega.{name}" for name in OmegaStats.__dataclass_fields__
+}
+
+
+class _OmegaStatsRegistry(_metrics.MetricsRegistry):
+    """A registry that mirrors ``omega.*`` counters into an OmegaStats."""
+
+    def __init__(self, stats: OmegaStats):
+        super().__init__()
+        self.stats = stats
+        self._fields = {
+            metric: name for name, metric in _METRIC_NAME.items()
+        }
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        super().inc(name, amount)
+        attr = self._fields.get(name)
+        if attr is not None:
+            setattr(self.stats, attr, getattr(self.stats, attr) + amount)
 
 
 class _StatsStack(threading.local):
@@ -55,8 +89,10 @@ _stats_stack = _StatsStack()
 def collect_stats():
     """Context manager collecting solver statistics for the enclosed calls.
 
+    >>> from repro.omega import Problem, Variable
     >>> with collect_stats() as stats:
-    ...     is_satisfiable(some_problem)
+    ...     is_satisfiable(Problem().add_bounds(0, Variable("x"), 5))
+    True
     >>> stats.satisfiability_tests
     1
     """
@@ -64,7 +100,8 @@ def collect_stats():
     stats = OmegaStats()
     _stats_stack.stack.append(stats)
     try:
-        yield stats
+        with _metrics.collecting(_OmegaStatsRegistry(stats)):
+            yield stats
     finally:
         _stats_stack.stack.pop()
 
@@ -76,15 +113,17 @@ def current_stats() -> OmegaStats | None:
 
 
 def _bump(attr: str, amount: int = 1) -> None:
-    for stats in _stats_stack.stack:
-        setattr(stats, attr, getattr(stats, attr) + amount)
+    _metrics.inc(_METRIC_NAME[attr], amount)
 
 
 def is_satisfiable(problem: Problem) -> bool:
     """True iff the conjunction has at least one integer solution."""
 
+    if _obs_off():
+        return _sat(problem, 0)
     _bump("satisfiability_tests")
-    return _sat(problem, 0)
+    with _span("omega.is_satisfiable", constraints=len(problem.constraints)):
+        return _sat(problem, 0)
 
 
 def _sat(problem: Problem, depth: int) -> bool:

@@ -1,0 +1,125 @@
+"""Metrics registry unit tests."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    CATALOG,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    current_registry,
+    enabled,
+    inc,
+    observe,
+    set_gauge,
+)
+
+
+class TestHistogram:
+    def test_observe_buckets(self):
+        hist = Histogram(boundaries=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.min == 0.05
+        assert hist.max == 5.0
+        assert hist.mean == pytest.approx((0.05 + 0.5 + 5.0) / 3)
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(1.0, 0.1))
+
+    def test_merge(self):
+        a, b = Histogram((1.0,)), Histogram((1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.bucket_counts == [1, 1]
+        assert a.min == 0.5 and a.max == 2.0
+
+    def test_merge_mismatched_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).merge(Histogram((2.0,)))
+
+
+class TestRegistry:
+    def test_catalog_preseeded(self):
+        registry = MetricsRegistry()
+        assert registry.counter("omega.satisfiability_tests") == 0
+        for name in CATALOG:
+            assert name in registry.counters
+
+    def test_inc_and_unknown_counter(self):
+        registry = MetricsRegistry()
+        registry.inc("custom.thing", 3)
+        registry.inc("custom.thing")
+        assert registry.counter("custom.thing") == 4
+        assert registry.counter("never.seen") == 0
+
+    def test_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("omega.gists", 2)
+        b.inc("omega.gists", 3)
+        b.set_gauge("g", 1.5)
+        b.observe("h", 0.2)
+        a.merge(b)
+        assert a.counter("omega.gists") == 5
+        assert a.gauges["g"] == 1.5
+        assert a.histograms["h"].count == 1
+
+    def test_to_json_full_schema(self):
+        payload = json.loads(MetricsRegistry().to_json())
+        assert set(payload) == {"counters", "gauges", "histograms"}
+        # Untouched counters still appear, at zero.
+        assert payload["counters"]["analysis.kills_succeeded"] == 0
+
+    def test_summary_lists_metrics(self):
+        registry = MetricsRegistry()
+        registry.inc("omega.gists", 7)
+        registry.observe("analysis.kill_seconds", 0.25)
+        text = registry.summary()
+        assert "omega.gists" in text
+        assert "7" in text
+        assert "count=1" in text
+
+
+class TestModuleHelpers:
+    def test_disabled_by_default(self):
+        assert not enabled()
+        assert current_registry() is None
+        inc("omega.gists")  # must be a silent no-op
+        set_gauge("g", 1.0)
+        observe("h", 0.1)
+
+    def test_collecting_scopes_counts(self):
+        with collecting() as registry:
+            assert enabled()
+            assert current_registry() is registry
+            inc("omega.gists", 2)
+            observe("analysis.kill_seconds", 0.01)
+        assert not enabled()
+        assert registry.counter("omega.gists") == 2
+        assert registry.histograms["analysis.kill_seconds"].count == 1
+        # Counts recorded after exit go nowhere.
+        inc("omega.gists", 100)
+        assert registry.counter("omega.gists") == 2
+
+    def test_nested_registries_both_receive(self):
+        with collecting() as outer:
+            inc("omega.gists")
+            with collecting() as inner:
+                inc("omega.gists")
+        assert outer.counter("omega.gists") == 2
+        assert inner.counter("omega.gists") == 1
+
+    def test_collecting_restores_on_error(self):
+        try:
+            with collecting():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not enabled()

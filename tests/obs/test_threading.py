@@ -1,0 +1,106 @@
+"""Thread-isolation regression tests for the obs layer.
+
+Registries and tracers are scoped with ``threading.local`` stacks: work on
+one thread must never bleed counts or spans into a scope opened on
+another.  These tests pin that contract down, including for full analyses
+running concurrently.
+"""
+
+import threading
+
+from repro.analysis import analyze
+from repro.ir import parse
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    collecting,
+    metrics_enabled,
+    span,
+    tracing,
+    tracing_active,
+)
+from repro.obs import metrics as metrics_mod
+
+PROGRAM = """
+a(n) :=
+for i := n to n+10 do a(i) :=
+for i := n to n+20 do := a(i)
+"""
+
+
+def test_collecting_is_thread_local():
+    leaked = {}
+
+    def other_thread():
+        leaked["enabled"] = metrics_enabled()
+        metrics_mod.inc("omega.gists", 99)  # no registry on this thread
+
+    with collecting() as registry:
+        worker = threading.Thread(target=other_thread)
+        worker.start()
+        worker.join()
+    assert leaked["enabled"] is False
+    assert registry.counter("omega.gists") == 0
+
+
+def test_tracing_is_thread_local():
+    seen = {}
+
+    def other_thread():
+        seen["active"] = tracing_active()
+        with span("should.vanish"):
+            pass
+
+    with tracing(Tracer()) as tracer:
+        worker = threading.Thread(target=other_thread)
+        worker.start()
+        worker.join()
+    assert seen["active"] is False
+    assert tracer.span_names() == set()
+
+
+def test_concurrent_analyses_do_not_bleed():
+    """Two threads analyzing under their own scopes get identical counts."""
+
+    program_text = PROGRAM
+    results = {}
+    barrier = threading.Barrier(2)
+
+    def run(name):
+        barrier.wait()
+        tracer = Tracer()
+        with collecting(MetricsRegistry()) as registry, tracing(tracer):
+            analyze(parse(program_text, name))
+        results[name] = (registry, tracer)
+
+    threads = [
+        threading.Thread(target=run, args=(name,)) for name in ("one", "two")
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    reg_one, trace_one = results["one"]
+    reg_two, trace_two = results["two"]
+    assert reg_one.counters == reg_two.counters
+    assert reg_one.counter("analysis.kills_succeeded") == 1
+    assert len(trace_one.events) == len(trace_two.events)
+    # Each tracer only saw its own thread.
+    assert len({e.thread_id for e in trace_one.events}) == 1
+    assert {e.thread_id for e in trace_one.events} != {
+        e.thread_id for e in trace_two.events
+    }
+
+
+def test_nested_scopes_on_one_thread_stack_correctly():
+    with collecting() as outer:
+        with collecting() as inner, tracing(Tracer()) as outer_tracer:
+            with tracing(Tracer()) as inner_tracer:
+                analyze(parse(PROGRAM, "nested"))
+            assert tracing_active()
+        assert not tracing_active()
+    assert inner.counter("omega.satisfiability_tests") > 0
+    assert outer.counters == inner.counters
+    assert outer_tracer.span_names() == inner_tracer.span_names()
+    assert len(outer_tracer.events) == len(inner_tracer.events)

@@ -1,0 +1,143 @@
+"""Span tracer unit tests."""
+
+import json
+import threading
+
+from repro.obs import trace
+from repro.obs.trace import Span, Tracer, active, chrome_trace, current_tracer, span, tracing
+
+
+class TestDisabled:
+    def test_span_is_shared_noop_when_no_tracer(self):
+        handle = span("omega.project", kept=3)
+        assert handle is trace._NULL
+        with handle as sp:
+            assert sp.duration == 0.0
+
+    def test_not_active_by_default(self):
+        assert not active()
+        assert current_tracer() is None
+
+
+class TestRecording:
+    def test_span_records_event(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("omega.project", kept=2):
+                pass
+        assert len(tracer.events) == 1
+        event = tracer.events[0]
+        assert event.name == "omega.project"
+        assert event.attrs == {"kept": 2}
+        assert event.duration >= 0.0
+        assert event.parent is None
+        assert event.depth == 0
+
+    def test_nesting_tracks_parent_and_depth(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("analysis.pair"):
+                with span("omega.is_satisfiable"):
+                    pass
+        by_name = {e.name: e for e in tracer.events}
+        inner = by_name["omega.is_satisfiable"]
+        outer = by_name["analysis.pair"]
+        assert inner.parent == "analysis.pair"
+        assert inner.depth == 1
+        assert outer.depth == 0
+
+    def test_span_duration_exposed_on_handle(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("x") as sp:
+                pass
+        assert sp.duration == tracer.events[0].duration
+
+    def test_nested_tracers_both_record(self):
+        outer, inner = Tracer(), Tracer()
+        with tracing(outer):
+            with span("a"):
+                pass
+            with tracing(inner):
+                assert current_tracer() is inner
+                with span("b"):
+                    pass
+        assert outer.span_names() == {"a", "b"}
+        assert inner.span_names() == {"b"}
+
+    def test_tracing_restores_state_on_error(self):
+        tracer = Tracer()
+        try:
+            with tracing(tracer):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not active()
+
+
+class TestExport:
+    def _traced(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("analysis.pair", src="s1", dst="s2"):
+                with span("omega.project"):
+                    pass
+        return tracer
+
+    def test_chrome_trace_shape(self):
+        payload = self._traced().to_chrome_trace()
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert {"name", "cat", "ts", "dur", "pid", "tid", "args"} <= set(event)
+        # Sorted by start time: the outer span starts first.
+        assert events[0]["name"] == "analysis.pair"
+        assert events[0]["args"] == {"src": "s1", "dst": "s2"}
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._traced().write_chrome_trace(path)
+        loaded = json.loads(path.read_text())
+        assert {e["name"] for e in loaded["traceEvents"]} == {
+            "analysis.pair",
+            "omega.project",
+        }
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._traced().write_jsonl(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert all("name" in line and "dur" in line for line in lines)
+
+    def test_attrs_stringified_lazily(self):
+        class Weird:
+            def __str__(self):
+                return "weird!"
+
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("x", obj=Weird()):
+                pass
+        # Stored raw; stringified only at export.
+        assert isinstance(tracer.events[0].attrs["obj"], Weird)
+        payload = chrome_trace(tracer.events)
+        assert payload["traceEvents"][0]["args"]["obj"] == "weird!"
+
+    def test_tracer_thread_safe_record(self):
+        tracer = Tracer()
+
+        def work():
+            with tracing(tracer):
+                for _ in range(50):
+                    with span("t"):
+                        pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.events) == 200

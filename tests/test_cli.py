@@ -101,3 +101,76 @@ class TestOtherCommands:
         path.write_text("for i := 1 to n do a(i) := a(i-1)")
         main(["queries", str(path)])
         assert "no symbolic questions" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_explain_prints_decision_trail(self, program_file, capsys):
+        assert main(["analyze", str(program_file), "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "Decision trail" in out
+        assert "killed:" in out
+
+    def test_stats_prints_metrics_summary(self, program_file, capsys):
+        assert main(["analyze", str(program_file), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "omega.satisfiability_tests" in out
+        assert "analysis.kills_succeeded" in out
+
+    def test_trace_out_writes_chrome_trace(self, program_file, tmp_path):
+        import json
+
+        trace_path = tmp_path / "t.json"
+        assert main(
+            ["analyze", str(program_file), "--trace-out", str(trace_path)]
+        ) == 0
+        payload = json.loads(trace_path.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert len(names) >= 6
+        assert "analysis.kill" in names
+        assert "omega.fourier_motzkin" in names
+
+    def test_metrics_out_writes_full_schema(self, program_file, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "m.json"
+        assert main(
+            ["analyze", str(program_file), "--metrics-out", str(metrics_path)]
+        ) == 0
+        payload = json.loads(metrics_path.read_text())
+        counters = payload["counters"]
+        for key in (
+            "analysis.kills_attempted",
+            "analysis.covers_tested",
+            "analysis.refinements_attempted",
+            "omega.eliminations",
+            "omega.splinters_examined",
+        ):
+            assert key in counters
+        assert counters["analysis.kills_succeeded"] == 1
+
+    def test_trace_command(self, program_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "trace",
+                str(program_file),
+                "-o",
+                str(out_path),
+                "--jsonl",
+                str(jsonl_path),
+            ]
+        ) == 0
+        listed = capsys.readouterr().out
+        assert "spans" in listed
+        payload = json.loads(out_path.read_text())
+        assert payload["traceEvents"]
+        assert jsonl_path.read_text().strip()
+
+    def test_obs_flags_off_leave_no_artifacts(self, program_file, capsys):
+        assert main(["analyze", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Decision trail" not in out
+        assert "metric" not in out
