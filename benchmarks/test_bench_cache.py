@@ -1,0 +1,70 @@
+"""Solver-cache speedup on the Figure 6 corpus.
+
+Runs the full extended analysis over the timing corpus with the memoizing
+solver facade on and off, reports wall time and hit rate, and writes
+``results/cache_speedup.txt``.  The cache must never change results
+(enforced by ``tests/analysis/test_cache_determinism.py``); this benchmark
+establishes that it actually buys time on the workload the paper measures.
+"""
+
+import time
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.programs import timing_corpus
+
+from .conftest import write_artifact
+
+
+def run_corpus(cache: bool):
+    started = time.perf_counter()
+    stats = {"hits": 0, "misses": 0, "evictions": 0}
+    for program in timing_corpus():
+        result = analyze(program, AnalysisOptions(cache=cache))
+        if result.cache_stats is not None:
+            for key in stats:
+                stats[key] += result.cache_stats[key]
+    return time.perf_counter() - started, stats
+
+
+def measure(rounds: int = 3):
+    """Best-of-N corpus sweeps for each configuration, interleaved."""
+
+    best_on, best_off = float("inf"), float("inf")
+    totals = None
+    for _ in range(rounds):
+        elapsed_off, _ = run_corpus(cache=False)
+        best_off = min(best_off, elapsed_off)
+        elapsed_on, stats = run_corpus(cache=True)
+        if elapsed_on < best_on:
+            best_on, totals = elapsed_on, stats
+    return best_on, best_off, totals
+
+
+def test_bench_cache_speedup(benchmark):
+    benchmark.pedantic(lambda: run_corpus(cache=True), rounds=1, iterations=1)
+    cached, plain, stats = measure()
+    queries = stats["hits"] + stats["misses"]
+    hit_rate = stats["hits"] / queries if queries else 0.0
+    speedup = plain / cached if cached else float("inf")
+    lines = [
+        "Solver cache on the Figure 6 timing corpus (best of 3 sweeps)",
+        "",
+        f"  cache off : {plain:8.3f} s",
+        f"  cache on  : {cached:8.3f} s",
+        f"  speedup   : {speedup:8.2f} x",
+        "",
+        f"  queries   : {queries}",
+        f"  hits      : {stats['hits']}  ({hit_rate:.1%} hit rate)",
+        f"  misses    : {stats['misses']}",
+        f"  evictions : {stats['evictions']}",
+        "",
+    ]
+    artifact = "\n".join(lines)
+    write_artifact("cache_speedup.txt", artifact)
+    print()
+    print(artifact)
+
+    assert stats["hits"] > 0
+    assert hit_rate > 0.25  # the corpus re-issues most of its subproblems
+    # The headline claim: memoization makes the corpus measurably faster.
+    assert cached < plain

@@ -19,10 +19,9 @@ from __future__ import annotations
 
 from ..obs import metrics as _metrics
 from ..obs.trace import span as _span
-from ..omega import Problem, Variable, is_satisfiable
+from ..omega import Problem, Variable
+from ..omega.cache import implies_union, is_satisfiable, project
 from ..omega.errors import OmegaComplexityError
-from ..omega.gist import implies_union
-from ..omega.project import project
 from .dependences import Dependence
 
 __all__ = ["covers_destination", "terminates_source", "cover_quick_reject"]

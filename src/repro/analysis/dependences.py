@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..ir.ast import Access
-from ..omega import Constraint, Problem, Variable, is_satisfiable
+from ..omega import Constraint, Problem, Variable
+from ..omega.cache import is_satisfiable
 from .problem import PairProblem, SymbolTable, build_pair_problem
 from .vectors import (
     DirectionVector,

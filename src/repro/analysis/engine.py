@@ -23,7 +23,7 @@ refined, covered, killed or kept.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -34,7 +34,8 @@ from ..obs.trace import Tracer
 from ..obs.trace import active as _tracing_active
 from ..obs.trace import span as _span
 from ..obs.trace import tracing as _tracing
-from ..omega import Constraint
+from ..omega import Constraint, SolverCache, caching, current_cache
+from ..omega.cache import default_cache_enabled, default_cache_size
 from .cover import cover_quick_reject, covers_destination, terminates_source
 from .dependences import (
     Dependence,
@@ -84,6 +85,16 @@ class AnalysisOptions:
     #: Record a structured decision trail (why each dependence was killed,
     #: covered, refined or kept) in ``result.explain``.
     explain: bool = False
+    #: Memoize Omega queries on their canonical form for the duration of
+    #: the analysis (bit-identical results either way).  Defaults to on
+    #: unless the ``REPRO_NO_CACHE`` environment variable is set.  When a
+    #: cache is already active on this thread (an enclosing
+    #: ``repro.omega.caching(...)`` scope) the engine reuses it, sharing
+    #: hits across programs.
+    cache: bool = field(default_factory=default_cache_enabled)
+    #: LRU capacity of the per-analysis cache (``REPRO_CACHE_SIZE`` or
+    #: 4096 entries).
+    cache_size: int = field(default_factory=default_cache_size)
 
 
 def analyze(program: Program, options: AnalysisOptions | None = None) -> AnalysisResult:
@@ -119,9 +130,21 @@ class Analyzer:
         if self.options.record_timings and not _tracing_active():
             tracer = Tracer()
             self.result.trace = tracer
-        with _tracing(tracer) if tracer is not None else nullcontext():
+        with ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(_tracing(tracer))
+            cache: SolverCache | None = None
+            if self.options.cache:
+                cache = current_cache()
+                if cache is None:
+                    cache = stack.enter_context(
+                        caching(SolverCache(self.options.cache_size))
+                    )
             with _span("analysis.analyze", program=self.program.name):
                 self._run_phases()
+            if cache is not None:
+                self.result.cache_stats = cache.stats()
+                _metrics.set_gauge("omega.cache.size", len(cache))
         return self.result
 
     def _run_phases(self) -> None:

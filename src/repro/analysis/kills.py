@@ -22,10 +22,9 @@ from dataclasses import dataclass, field
 from ..ir.ast import Access
 from ..obs import metrics as _metrics
 from ..obs.trace import span as _span
-from ..omega import Problem, Variable, is_satisfiable
+from ..omega import Problem, Variable
+from ..omega.cache import implies_union, is_satisfiable, project
 from ..omega.errors import OmegaComplexityError
-from ..omega.gist import implies_union
-from ..omega.project import project
 from .dependences import Dependence
 from .ordering import execution_order_cases
 from .problem import SymbolTable, build_instance, common_depth

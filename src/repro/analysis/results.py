@@ -73,6 +73,9 @@ class AnalysisResult:
     #: The engine's private tracer, when it had to create one for timing
     #: (``record_timings=True`` with no caller-installed tracer).
     trace: Tracer | None = None
+    #: Snapshot of the solver cache counters for this analysis (None when
+    #: the cache was disabled).  See :class:`repro.omega.SolverCache`.
+    cache_stats: dict | None = None
 
     # ------------------------------------------------------------------
     def live_flow(self) -> list[Dependence]:

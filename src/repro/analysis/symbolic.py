@@ -27,9 +27,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..ir.ast import Access
-from ..omega import Constraint, LinearExpr, Problem, Variable, is_satisfiable
-from ..omega.gist import gist
-from ..omega.project import project
+from ..omega import Constraint, LinearExpr, Problem, Variable
+from ..omega.cache import gist, is_satisfiable, project
 from .dependences import Dependence, DependenceKind, compute_dependences
 from .problem import PairProblem, SymbolTable, UTermOccurrence, build_pair_problem
 from .vectors import RestraintVector, restraint_vectors
@@ -166,7 +165,9 @@ def format_problem(problem: Problem, rename=None) -> str:
 
     if problem.is_trivially_true():
         return "TRUE"
-    return " and ".join(format_constraint(c, rename) for c in problem.constraints)
+    return " and ".join(
+        format_constraint(c, rename) for c in problem.sorted_constraints()
+    )
 
 
 # ---------------------------------------------------------------------------

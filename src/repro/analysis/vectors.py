@@ -20,8 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from ..omega import Constraint, LinearExpr, Problem, Variable, ge, is_satisfiable, le
-from ..omega.project import project
+from ..omega import Constraint, LinearExpr, Problem, Variable, ge, le
+from ..omega.cache import is_satisfiable, project
 
 __all__ = [
     "DirComponent",

@@ -9,8 +9,9 @@ Commands
     ``--assert "n <= m"`` for symbolic assertions, ``--all-kinds`` to list
     anti/output dependences too).  Observability flags: ``--explain``
     prints the per-dependence decision trail, ``--stats`` the metrics
-    summary, ``--trace-out t.json`` / ``--metrics-out m.json`` write the
-    Chrome-trace and metrics snapshots.
+    summary (plus solver-cache counters), ``--trace-out t.json`` /
+    ``--metrics-out m.json`` write the Chrome-trace and metrics snapshots,
+    and ``--no-cache`` disables the solver result cache.
 
 ``trace FILE``
     Run the extended analysis under the span tracer and write a
@@ -101,7 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument(
         "--stats",
         action="store_true",
-        help="print the metrics summary after the tables",
+        help="print the metrics summary (and cache counters) after the tables",
+    )
+    analyze_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the solver result cache (results are identical, slower)",
     )
     analyze_cmd.add_argument(
         "--trace-out",
@@ -167,6 +173,8 @@ def _cmd_analyze(args) -> int:
         assertions=tuple(parse_assertion(text) for text in args.assertions),
         explain=args.explain,
     )
+    if args.no_cache:
+        options.cache = False
     tracer = Tracer() if args.trace_out else None
     registry = MetricsRegistry() if (args.stats or args.metrics_out) else None
     with ExitStack() as stack:
@@ -194,6 +202,16 @@ def _cmd_analyze(args) -> int:
         if args.stats and registry is not None:
             print()
             print(registry.summary())
+            if result.cache_stats is not None:
+                stats = result.cache_stats
+                print()
+                print(
+                    "solver cache: "
+                    f"{stats['hits']} hits, {stats['misses']} misses "
+                    f"({stats['hit_rate']:.0%} hit rate), "
+                    f"{stats['evictions']} evictions, "
+                    f"{stats['size']}/{stats['maxsize']} entries"
+                )
     if tracer is not None:
         tracer.write_chrome_trace(args.trace_out)
         print(f"trace written to {args.trace_out}", file=sys.stderr)

@@ -68,6 +68,10 @@ CATALOG: tuple[str, ...] = (
     "omega.gists",
     "omega.gist_simplifications",
     "omega.gist_naive_tests",
+    # Solver result cache (repro.omega.cache).
+    "omega.cache.hits",
+    "omega.cache.misses",
+    "omega.cache.evictions",
     # Analysis pipeline.
     "analysis.pairs_analyzed",
     "analysis.dependences_found",

@@ -16,7 +16,19 @@ Quick example::
     proj = project(p, [a])            # the paper's example: 2 <= a <= 5
 """
 
-from .constraints import Constraint, NormalizeStatus, Problem, Relation, eq, ge, le
+from .cache import SolverCache, cache_enabled, caching, current_cache
+from .constraints import (
+    CanonicalProblem,
+    Constraint,
+    JointCanonical,
+    NormalizeStatus,
+    Problem,
+    Relation,
+    canonicalize_problems,
+    eq,
+    ge,
+    le,
+)
 from .eliminate import (
     EqualityEliminationResult,
     FMResult,
@@ -60,9 +72,17 @@ __all__ = [
     "Relation",
     "Problem",
     "NormalizeStatus",
+    "CanonicalProblem",
+    "JointCanonical",
+    "canonicalize_problems",
     "ge",
     "le",
     "eq",
+    # solver result cache
+    "SolverCache",
+    "caching",
+    "current_cache",
+    "cache_enabled",
     # elimination
     "mod_hat",
     "substitute",

@@ -11,12 +11,23 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from math import gcd
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from .errors import OmegaError
 from .terms import LinearExpr, Variable
 
-__all__ = ["Relation", "Constraint", "Problem", "NormalizeStatus", "ge", "le", "eq"]
+__all__ = [
+    "Relation",
+    "Constraint",
+    "Problem",
+    "NormalizeStatus",
+    "CanonicalProblem",
+    "JointCanonical",
+    "canonicalize_problems",
+    "ge",
+    "le",
+    "eq",
+]
 
 
 class Relation(enum.Enum):
@@ -71,6 +82,22 @@ class Constraint:
     def is_satisfied_by(self, assignment: Mapping[Variable, int]) -> bool:
         value = self.expr.evaluate(assignment)
         return value == 0 if self.is_equality else value >= 0
+
+    def sort_key(self) -> tuple:
+        """A deterministic total order over constraints, used for display.
+
+        Equalities sort before inequalities; within a relation, constraints
+        order by their (kind, name, coefficient) term tuples and then the
+        constant, so a conjunction prints the same way no matter what order
+        its constraints were added or discovered in.
+        """
+
+        terms = tuple(
+            sorted(
+                (v.kind, v.name, coeff) for v, coeff in self.expr.terms.items()
+            )
+        )
+        return (0 if self.is_equality else 1, terms, self.expr.constant)
 
     def __str__(self) -> str:
         return f"{self.expr} {self.relation.value} 0"
@@ -368,11 +395,227 @@ class Problem:
     def __iter__(self):
         return iter(self.constraints)
 
+    def sorted_constraints(self) -> list[Constraint]:
+        """The constraints in the display total order (see
+        :meth:`Constraint.sort_key`); insertion order does not leak into
+        printed or serialized output."""
+
+        return sorted(self.constraints, key=Constraint.sort_key)
+
     def __str__(self) -> str:
         if not self.constraints:
             return "TRUE"
-        return " and ".join(str(c) for c in self.constraints)
+        return " and ".join(str(c) for c in self.sorted_constraints())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = f" {self.name!r}" if self.name else ""
         return f"<Problem{label}: {self}>"
+
+    # ------------------------------------------------------------------
+    # Canonical form
+    # ------------------------------------------------------------------
+    def canonical(self) -> "CanonicalProblem":
+        """The canonical, hashable form of this conjunction.
+
+        Two problems share a canonical form exactly when their normalized
+        constraint systems are identical up to a kind-preserving renaming
+        of variables: constraints are GCD-normalized and deduplicated (via
+        :meth:`normalized`), variables are renamed positionally by a
+        structural signature (alpha-equivalence), and constraints are
+        sorted under a total order.  The result carries the renaming in
+        both directions so solver caches can translate stored answers back
+        into a caller's variable space.
+
+        >>> from repro.omega.terms import Variable
+        >>> x, y = Variable("x"), Variable("y")
+        >>> a = Problem().add_ge(2 * x - 4).add_le(x, 9)
+        >>> b = Problem().add_le(y, 9).add_ge(y - 2)   # scaled + renamed
+        >>> a.canonical() == b.canonical()
+        True
+        >>> hash(a.canonical()) == hash(b.canonical())
+        True
+        """
+
+        return canonicalize_problems([self]).narrow(0)
+
+
+#: Key marking a problem whose normalization proved it unsatisfiable.
+_UNSAT_KEY: tuple = ("UNSAT",)
+
+
+def _skeleton(constraint: Constraint, tag: int) -> tuple:
+    """A name-free fingerprint of one constraint within a problem group."""
+
+    return (
+        tag,
+        0 if constraint.is_equality else 1,
+        constraint.expr.constant,
+        tuple(
+            sorted(
+                (v.kind, coeff) for v, coeff in constraint.expr.terms.items()
+            )
+        ),
+    )
+
+
+class JointCanonical:
+    """Canonical form of one or more problems over a shared variable order.
+
+    Produced by :func:`canonicalize_problems`; ``keys[i]`` is the canonical
+    key of the i-th problem, and ``key`` combines them all (plus the shared
+    variable-kind vector) into a single hashable value.  ``rename`` maps
+    every original variable to its canonical stand-in ``__c{index}`` (kind
+    preserved); ``indices`` gives the bare positional index.
+    """
+
+    __slots__ = ("keys", "kinds", "rename", "indices", "statuses", "key")
+
+    def __init__(
+        self,
+        keys: tuple[tuple, ...],
+        kinds: tuple[str, ...],
+        rename: dict[Variable, Variable],
+        indices: dict[Variable, int],
+        statuses: tuple["NormalizeStatus", ...],
+    ):
+        self.keys = keys
+        self.kinds = kinds
+        self.rename = rename
+        self.indices = indices
+        self.statuses = statuses
+        self.key = (keys, kinds)
+
+    def inverse(self) -> dict[Variable, Variable]:
+        """The canonical-to-original variable mapping."""
+
+        return {canon: orig for orig, canon in self.rename.items()}
+
+    def narrow(self, index: int) -> "CanonicalProblem":
+        """A single-problem :class:`CanonicalProblem` view of one group."""
+
+        return CanonicalProblem(
+            (self.keys[index], self.kinds),
+            self.rename,
+            self.indices,
+            self.statuses[index],
+        )
+
+
+class CanonicalProblem:
+    """The canonical form of a single :class:`Problem`.
+
+    Structural ``__eq__``/``__hash__`` compare only the canonical ``key``:
+    alpha-equivalent problems (and problems whose constraints normalize to
+    the same system) collide.  The original-to-canonical variable renaming
+    is retained for cache result translation.
+    """
+
+    __slots__ = ("key", "rename", "indices", "status")
+
+    def __init__(
+        self,
+        key: tuple,
+        rename: dict[Variable, Variable],
+        indices: dict[Variable, int],
+        status: "NormalizeStatus",
+    ):
+        self.key = key
+        self.rename = rename
+        self.indices = indices
+        self.status = status
+
+    @property
+    def is_unsatisfiable(self) -> bool:
+        return self.status is NormalizeStatus.UNSATISFIABLE
+
+    def inverse(self) -> dict[Variable, Variable]:
+        return {canon: orig for orig, canon in self.rename.items()}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CanonicalProblem):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CanonicalProblem({self.key!r})"
+
+
+def canonicalize_problems(problems: Sequence[Problem]) -> JointCanonical:
+    """Canonicalize several problems under one shared variable renaming.
+
+    Needed when a cache key spans multiple conjunctions that share
+    variables (``gist p given q``, implication against a union): the
+    renaming must be computed jointly so that a variable common to two
+    groups maps to the same canonical index in both.
+
+    Each problem is normalized first; a problem that normalizes to
+    *unsatisfiable* contributes the distinguished ``("UNSAT",)`` key and no
+    constraints.  Variable order is decided by a structural signature (the
+    multiset of name-free constraint fingerprints each variable occurs in,
+    with its coefficients), with name/kind as the final tie-break — so the
+    canonical form is invariant under any renaming that the signatures can
+    distinguish, which in practice covers the near-identical subproblems
+    the dependence analysis re-issues.
+    """
+
+    normalized: list[tuple[list[Constraint], NormalizeStatus]] = []
+    for problem in problems:
+        norm, status = problem.normalized()
+        if status is NormalizeStatus.UNSATISFIABLE:
+            normalized.append(([], status))
+        else:
+            normalized.append((norm.constraints, status))
+
+    occurrences: dict[Variable, list[tuple]] = {}
+    for tag, (constraints, _status) in enumerate(normalized):
+        for constraint in constraints:
+            fingerprint = _skeleton(constraint, tag)
+            for var, coeff in constraint.expr.terms.items():
+                occurrences.setdefault(var, []).append((fingerprint, coeff))
+
+    signatures = {
+        var: (var.kind, tuple(sorted(found)))
+        for var, found in occurrences.items()
+    }
+    ordered = sorted(
+        occurrences, key=lambda v: (signatures[v], v.kind, v.name)
+    )
+    indices = {var: position for position, var in enumerate(ordered)}
+    rename = {
+        var: Variable(f"__c{position}", var.kind)
+        for var, position in indices.items()
+    }
+    kinds = tuple(var.kind for var in ordered)
+
+    keys: list[tuple] = []
+    for constraints, status in normalized:
+        if status is NormalizeStatus.UNSATISFIABLE:
+            keys.append(_UNSAT_KEY)
+            continue
+        entries = []
+        for constraint in constraints:
+            terms = tuple(
+                sorted(
+                    (indices[v], coeff)
+                    for v, coeff in constraint.expr.terms.items()
+                )
+            )
+            entries.append(
+                (
+                    0 if constraint.is_equality else 1,
+                    terms,
+                    constraint.expr.constant,
+                )
+            )
+        keys.append(tuple(sorted(entries)))
+
+    return JointCanonical(
+        tuple(keys),
+        kinds,
+        rename,
+        indices,
+        tuple(status for _constraints, status in normalized),
+    )

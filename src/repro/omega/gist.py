@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from ..obs import metrics as _metrics
 from ..obs import off as _obs_off
 from ..obs.trace import span as _span
-from .constraints import Constraint, Problem, Relation
+from . import cache as _cache
+from .constraints import Constraint, Problem, Relation, canonicalize_problems
 from .errors import OmegaComplexityError
 from .project import Projection, project
 from .solve import is_satisfiable
@@ -115,9 +116,59 @@ def gist(
     by the implication test, which only cares whether the gist is ``True``).
 
     If q itself is unsatisfiable the gist is ``True`` (anything is implied).
+
+    Memoized on the joint canonical form of ``(p, q)`` when a solver cache
+    is active — except when the caller passes its own ``stats`` object,
+    which asks for the work breakdown and therefore bypasses the cache.
     """
 
+    cache = _cache.current_cache() if stats is None else None
     stats = stats if stats is not None else GistStats()
+    if cache is None:
+        return _gist_traced(
+            p,
+            q,
+            stats,
+            stop_if_not_true=stop_if_not_true,
+            use_fast_checks=use_fast_checks,
+        )
+
+    joint = canonicalize_problems([p, q])
+    key = _cache.gist_key(joint, stop_if_not_true, use_fast_checks)
+    entry = cache.get(key)
+    if entry is not _cache.MISSING:
+        if not _obs_off():
+            with _span("omega.gist", p=p.name, q=q.name, cache="hit"):
+                pass
+        stored = _cache.unwrap(entry)
+        return _cache.thaw_problems(
+            [stored], joint.inverse(), name=f"gist {p.name}"
+        )[0]
+    try:
+        result = _gist_traced(
+            p,
+            q,
+            stats,
+            stop_if_not_true=stop_if_not_true,
+            use_fast_checks=use_fast_checks,
+            cache_tag="miss",
+        )
+    except OmegaComplexityError as exc:
+        cache.put(key, _cache.Raised(str(exc)))
+        raise
+    cache.put(key, _cache.freeze_problems([result], joint.rename)[0])
+    return result
+
+
+def _gist_traced(
+    p: Problem,
+    q: Problem,
+    stats: GistStats,
+    *,
+    stop_if_not_true: bool,
+    use_fast_checks: bool,
+    cache_tag: str | None = None,
+) -> Problem:
     if _obs_off():
         return _gist(
             p,
@@ -126,7 +177,10 @@ def gist(
             stop_if_not_true=stop_if_not_true,
             use_fast_checks=use_fast_checks,
         )
-    with _span("omega.gist", p=p.name, q=q.name):
+    attrs: dict = {"p": p.name, "q": q.name}
+    if cache_tag is not None:
+        attrs["cache"] = cache_tag
+    with _span("omega.gist", **attrs):
         result = _gist(
             p,
             q,
@@ -350,8 +404,35 @@ def implies_union(
     Raises :class:`OmegaComplexityError` when the cube budget is exceeded;
     callers should then fall back to the sound single-piece check
     ``implies(p, pieces[0])``.
+
+    Memoized (including cached budget failures, replayed as the same
+    exception) on the joint canonical form of ``[p] + pieces`` when a
+    solver cache is active.
     """
 
+    cache = _cache.current_cache()
+    if cache is None:
+        return _implies_union(p, pieces, max_cubes=max_cubes)
+    joint = canonicalize_problems([p] + list(pieces))
+    key = _cache.union_key(joint, max_cubes)
+    entry = cache.get(key)
+    if entry is not _cache.MISSING:
+        return _cache.unwrap(entry)
+    try:
+        result = _implies_union(p, pieces, max_cubes=max_cubes)
+    except OmegaComplexityError as exc:
+        cache.put(key, _cache.Raised(str(exc)))
+        raise
+    cache.put(key, result)
+    return result
+
+
+def _implies_union(
+    p: Problem,
+    pieces: list[Problem],
+    *,
+    max_cubes: int,
+) -> bool:
     if not pieces:
         return not is_satisfiable(p)
     if not is_satisfiable(p):

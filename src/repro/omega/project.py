@@ -20,6 +20,7 @@ from typing import Iterable, Sequence
 from ..obs import metrics as _metrics
 from ..obs import off as _obs_off
 from ..obs.trace import span as _span
+from . import cache as _cache
 from .constraints import NormalizeStatus, Problem
 from .eliminate import choose_variable, eliminate_equalities, fourier_motzkin
 from .errors import OmegaComplexityError
@@ -83,9 +84,47 @@ def project(problem: Problem, keep: Iterable[Variable]) -> Projection:
     """
 
     kept = frozenset(keep)
+    cache = _cache.current_cache()
+    if cache is None:
+        return _project_traced(problem, kept)
+
+    canon = problem.canonical()
+    key = _cache.project_key(canon, kept)
+    entry = cache.get(key)
+    if entry is not _cache.MISSING:
+        if not _obs_off():
+            with _span("omega.project", kept=len(kept), cache="hit"):
+                pass
+        pieces_c, real_c, exact, splintered = _cache.unwrap(entry)
+        inverse = canon.inverse()
+        thawed = _cache.thaw_problems(list(pieces_c) + [real_c], inverse)
+        return Projection(
+            kept,
+            thawed[:-1],
+            thawed[-1],
+            exact_union=exact,
+            splintered=splintered,
+        )
+    projection = _project_traced(problem, kept, cache_tag="miss")
+    frozen = _cache.freeze_problems(
+        list(projection.pieces) + [projection.real], canon.rename
+    )
+    cache.put(
+        key,
+        (frozen[:-1], frozen[-1], projection.exact_union, projection.splintered),
+    )
+    return projection
+
+
+def _project_traced(
+    problem: Problem, kept: frozenset[Variable], cache_tag: str | None = None
+) -> Projection:
     if _obs_off():
         return _project(problem, kept)
-    with _span("omega.project", kept=len(kept)):
+    attrs: dict = {"kept": len(kept)}
+    if cache_tag is not None:
+        attrs["cache"] = cache_tag
+    with _span("omega.project", **attrs):
         projection = _project(problem, kept)
     _metrics.inc("omega.projections")
     _metrics.inc("omega.projection_pieces", len(projection.pieces))

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from ..obs import metrics as _metrics
 from ..obs import off as _obs_off
 from ..obs.trace import span as _span
+from . import cache as _cache
 from .constraints import NormalizeStatus, Problem
 from .eliminate import choose_variable, eliminate_equalities, fourier_motzkin
 from .errors import OmegaComplexityError
@@ -117,13 +118,48 @@ def _bump(attr: str, amount: int = 1) -> None:
 
 
 def is_satisfiable(problem: Problem) -> bool:
-    """True iff the conjunction has at least one integer solution."""
+    """True iff the conjunction has at least one integer solution.
 
-    if _obs_off():
-        return _sat(problem, 0)
-    _bump("satisfiability_tests")
-    with _span("omega.is_satisfiable", constraints=len(problem.constraints)):
-        return _sat(problem, 0)
+    When a :class:`repro.omega.cache.SolverCache` is active on this thread
+    the answer is memoized on the problem's canonical form; only cache
+    misses perform (and count as) satisfiability tests.
+    """
+
+    cache = _cache.current_cache()
+    if cache is None:
+        if _obs_off():
+            return _sat(problem, 0)
+        _bump("satisfiability_tests")
+        with _span("omega.is_satisfiable", constraints=len(problem.constraints)):
+            return _sat(problem, 0)
+
+    key = _cache.sat_key(problem.canonical())
+    entry = cache.get(key)
+    if entry is not _cache.MISSING:
+        if not _obs_off():
+            with _span(
+                "omega.is_satisfiable",
+                constraints=len(problem.constraints),
+                cache="hit",
+            ):
+                pass
+        return _cache.unwrap(entry)
+    try:
+        if _obs_off():
+            result = _sat(problem, 0)
+        else:
+            _bump("satisfiability_tests")
+            with _span(
+                "omega.is_satisfiable",
+                constraints=len(problem.constraints),
+                cache="miss",
+            ):
+                result = _sat(problem, 0)
+    except OmegaComplexityError as exc:
+        cache.put(key, _cache.Raised(str(exc)))
+        raise
+    cache.put(key, result)
+    return result
 
 
 def _sat(problem: Problem, depth: int) -> bool:
