@@ -66,7 +66,7 @@ def covers_destination(dep: Dependence, *, use_quick_test: bool = True) -> bool:
     if use_quick_test and cover_quick_reject(dep):
         return False
     _metrics.inc("analysis.covers_tested")
-    with _span("analysis.cover", src=dep.src, dst=dep.dst):
+    with _span("analysis.cover", src=dep.src, dst=dep.dst) as sp:
         keep = list(dep.pair.dst_ctx.loop_vars) + dep.pair.sym_vars()
         lhs = Problem(
             list(dep.pair.dst_ctx.domain.constraints)
@@ -74,6 +74,8 @@ def covers_destination(dep: Dependence, *, use_quick_test: bool = True) -> bool:
             name=f"[{dep.dst}]",
         )
         covers = _check_universal_coverage(dep, keep, lhs)
+    if sp.duration:
+        _metrics.observe("analysis.cover_seconds", sp.duration)
     if covers:
         _metrics.inc("analysis.covers_found")
     return covers

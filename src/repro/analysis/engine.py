@@ -140,8 +140,10 @@ class Analyzer:
                     cache = stack.enter_context(
                         caching(SolverCache(self.options.cache_size))
                     )
-            with _span("analysis.analyze", program=self.program.name):
+            with _span("analysis.analyze", program=self.program.name) as sp:
                 self._run_phases()
+            if sp.duration:
+                _metrics.observe("analysis.analyze_seconds", sp.duration)
             if cache is not None:
                 self.result.cache_stats = cache.stats()
                 _metrics.set_gauge("omega.cache.size", len(cache))

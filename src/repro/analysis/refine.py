@@ -72,8 +72,10 @@ def refine_dependence(
     direction vectors preserved in ``unrefined_directions``.
     """
 
-    with _span("analysis.refine", src=dep.src, dst=dep.dst):
+    with _span("analysis.refine", src=dep.src, dst=dep.dst) as sp:
         outcome = _refine(dep, partial)
+    if sp.duration:
+        _metrics.observe("analysis.refine_seconds", sp.duration)
     if outcome.attempted:
         _metrics.inc("analysis.refinements_attempted")
     if outcome.dependence is not dep and outcome.dependence.refined:

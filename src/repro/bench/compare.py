@@ -1,0 +1,108 @@
+"""Artifact comparison: the CI regression gate.
+
+``compare`` takes two ``BENCH_omega.json``-shaped dicts — the committed
+baseline and a fresh run — and flags every suite/leg whose median regressed
+past the threshold (default 25%, matching the CI gate).  Suites the new
+artifact dropped are regressions too: a gate that only checks what still
+runs can be silently starved.  Improvements and new suites are reported
+but never fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Comparison", "Delta", "DEFAULT_THRESHOLD", "compare", "load_artifact"]
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_artifact(path) -> dict:
+    with open(path) as source:
+        return json.load(source)
+
+
+@dataclass
+class Delta:
+    """One suite/leg median, old vs new."""
+
+    suite: str
+    leg: str
+    old_median: float
+    new_median: float
+
+    @property
+    def ratio(self) -> float:
+        if self.old_median == 0:
+            return float("inf") if self.new_median > 0 else 1.0
+        return self.new_median / self.old_median
+
+    def describe(self) -> str:
+        change = self.ratio - 1.0
+        return (
+            f"{self.suite}/cache-{self.leg}: "
+            f"{self.old_median:.4f}s -> {self.new_median:.4f}s "
+            f"({change:+.0%})"
+        )
+
+
+@dataclass
+class Comparison:
+    threshold: float
+    deltas: list[Delta] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)  #: suites dropped by new
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.ratio > 1.0 + self.threshold]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def render(self) -> str:
+        lines = [
+            f"benchmark comparison (regression threshold: "
+            f"+{self.threshold:.0%} on the median)"
+        ]
+        for delta in self.deltas:
+            regressed = delta.ratio > 1.0 + self.threshold
+            verdict = "REGRESSED" if regressed else "ok"
+            lines.append(f"  [{verdict:>9}] {delta.describe()}")
+        for suite in self.missing:
+            lines.append(f"  [  MISSING] {suite}: suite absent from new artifact")
+        lines.append(
+            "gate: PASS" if self.ok else f"gate: FAIL ({len(self.regressions)} "
+            f"regression(s), {len(self.missing)} missing suite(s))"
+        )
+        return "\n".join(lines)
+
+
+def compare(
+    old: dict, new: dict, *, threshold: float = DEFAULT_THRESHOLD
+) -> Comparison:
+    """Compare two benchmark artifacts, old (baseline) against new."""
+
+    comparison = Comparison(threshold)
+    old_suites = old.get("suites", {})
+    new_suites = new.get("suites", {})
+    for suite_name, old_suite in sorted(old_suites.items()):
+        new_suite = new_suites.get(suite_name)
+        if new_suite is None:
+            comparison.missing.append(suite_name)
+            continue
+        for leg, old_leg in sorted(old_suite.get("legs", {}).items()):
+            new_leg = new_suite.get("legs", {}).get(leg)
+            if new_leg is None:
+                comparison.missing.append(f"{suite_name}/cache-{leg}")
+                continue
+            comparison.deltas.append(
+                Delta(
+                    suite_name,
+                    leg,
+                    old_leg["median_s"],
+                    new_leg["median_s"],
+                )
+            )
+    return comparison

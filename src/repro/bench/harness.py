@@ -1,0 +1,214 @@
+"""The benchmark runner: warmup + trials, medians, artifact emission.
+
+``run_bench`` times each suite (see :mod:`repro.bench.suites`) in both
+solver-cache legs — ``on`` and ``off`` — with a warmup pass followed by
+repeated trials, and reports the median and interquartile range per leg.
+Medians over independent trials are the paper's own methodology for a
+shared machine: one slow outlier (a GC pause, a scheduler hiccup) moves
+the mean but not the median.
+
+The result serializes to the canonical ``BENCH_omega.json`` artifact: a
+schema tag, a machine fingerprint (platform, Python build, CPU count —
+enough to recognise that two artifacts are not comparable), the runner
+settings, and per-suite / per-leg statistics including the raw trials.
+``render_report`` produces the human-readable table written to
+``results/bench_omega.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Sequence
+
+from ..obs import Profile, Tracer, tracing
+from .suites import Suite, default_suites
+
+__all__ = [
+    "SCHEMA",
+    "BenchReport",
+    "LegResult",
+    "SuiteResult",
+    "machine_fingerprint",
+    "profile_suites",
+    "render_report",
+    "run_bench",
+]
+
+SCHEMA = "repro.bench/1"
+
+#: Cache legs, in run order.  "on" exercises the memoizing solver facade,
+#: "off" the raw solver — the pair keeps the PR 2 speedup regression-gated.
+LEGS = ("on", "off")
+
+
+def machine_fingerprint() -> dict:
+    """Enough platform detail to tell two artifacts apart."""
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+@dataclass
+class LegResult:
+    """Trial statistics for one suite in one cache leg."""
+
+    suite: str
+    cache: str  # "on" | "off"
+    trials: list[float]
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.trials)
+
+    @property
+    def iqr_s(self) -> float:
+        if len(self.trials) < 2:
+            return 0.0
+        q1, _q2, q3 = statistics.quantiles(self.trials, n=4)
+        return q3 - q1
+
+    def to_dict(self) -> dict:
+        return {
+            "median_s": self.median_s,
+            "iqr_s": self.iqr_s,
+            "min_s": min(self.trials),
+            "max_s": max(self.trials),
+            "trials_s": list(self.trials),
+        }
+
+
+@dataclass
+class SuiteResult:
+    suite: str
+    description: str
+    legs: dict[str, LegResult] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Cache-off median over cache-on median (the cache's payoff)."""
+
+        on = self.legs.get("on")
+        off = self.legs.get("off")
+        if on is None or off is None or on.median_s == 0:
+            return 1.0
+        return off.median_s / on.median_s
+
+    def to_dict(self) -> dict:
+        return {
+            "description": self.description,
+            "legs": {leg: result.to_dict() for leg, result in self.legs.items()},
+            "cache_speedup": self.speedup,
+        }
+
+
+@dataclass
+class BenchReport:
+    suites: dict[str, SuiteResult]
+    machine: dict
+    warmup: int
+    trials: int
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "machine": self.machine,
+            "settings": {"warmup": self.warmup, "trials": self.trials},
+            "suites": {
+                name: suite.to_dict() for name, suite in sorted(self.suites.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    def write(self, path) -> None:
+        with open(path, "w") as sink:
+            sink.write(self.to_json())
+
+
+def _time_leg(
+    suite: Suite, cache: bool, warmup: int, trials: int
+) -> list[float]:
+    for _ in range(warmup):
+        suite.run(cache)
+    times = []
+    for _ in range(trials):
+        started = perf_counter()
+        suite.run(cache)
+        times.append(perf_counter() - started)
+    return times
+
+
+def run_bench(
+    suites: Sequence[Suite] | None = None,
+    *,
+    warmup: int = 1,
+    trials: int = 5,
+    progress: Callable[[str], None] | None = None,
+) -> BenchReport:
+    """Run every suite in both cache legs and collect the statistics."""
+
+    suites = list(suites) if suites is not None else default_suites()
+    report = BenchReport({}, machine_fingerprint(), warmup, trials)
+    for suite in suites:
+        result = SuiteResult(suite.name, suite.description)
+        for leg in LEGS:
+            if progress is not None:
+                progress(
+                    f"{suite.name}: cache {leg} "
+                    f"({warmup} warmup + {trials} trials)"
+                )
+            times = _time_leg(suite, leg == "on", warmup, trials)
+            result.legs[leg] = LegResult(suite.name, leg, times)
+        report.suites[suite.name] = result
+    return report
+
+
+def profile_suites(suites: Sequence[Suite] | None = None) -> Profile:
+    """One traced cache-on pass over the suites, as a hotspot profile."""
+
+    suites = list(suites) if suites is not None else default_suites()
+    tracer = Tracer()
+    with tracing(tracer):
+        for suite in suites:
+            suite.run(True)
+    return Profile.from_tracer(tracer)
+
+
+def render_report(report: BenchReport) -> str:
+    """The human-readable per-suite table (``results/bench_omega.txt``)."""
+
+    lines = [
+        "Omega benchmark harness "
+        f"(warmup={report.warmup}, trials={report.trials}, median/IQR)",
+        f"  machine: {report.machine['platform']}, "
+        f"python {report.machine['python']} "
+        f"({report.machine['implementation']}), "
+        f"{report.machine['cpus']} cpus",
+        "",
+        f"  {'suite':<12} {'cache':<6} {'median':>10} {'iqr':>10}"
+        f" {'min':>10} {'max':>10}",
+        "  " + "-" * 62,
+    ]
+    for name, suite in sorted(report.suites.items()):
+        for leg in LEGS:
+            result = suite.legs.get(leg)
+            if result is None:
+                continue
+            lines.append(
+                f"  {name:<12} {leg:<6} {result.median_s:>9.4f}s"
+                f" {result.iqr_s:>9.4f}s {min(result.trials):>9.4f}s"
+                f" {max(result.trials):>9.4f}s"
+            )
+        lines.append(f"  {name:<12} cache speedup: {suite.speedup:.2f}x")
+    return "\n".join(lines) + "\n"

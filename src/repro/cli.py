@@ -26,6 +26,16 @@ Commands
 ``cholsky``
     Regenerate the paper's Figures 3 and 4 from the built-in CHOLSKY
     kernel.
+
+``bench``
+    Run the benchmark harness over the paper corpus (cache on/off legs,
+    warmup + trials, median/IQR) and write the canonical
+    ``BENCH_omega.json`` artifact plus a ``results/`` table.
+    ``--compare OLD.json`` gates the run against a baseline artifact
+    (nonzero exit on a median regression past ``--threshold``);
+    ``--against NEW.json`` compares two existing artifacts without
+    running; ``--profile`` adds a traced hotspot pass with
+    collapsed-stack (flamegraph) export.
 """
 
 from __future__ import annotations
@@ -158,6 +168,68 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "cholsky", help="regenerate Figures 3 and 4 from the CHOLSKY kernel"
     )
+
+    bench_cmd = commands.add_parser(
+        "bench",
+        help="run the benchmark harness; write/compare BENCH_omega.json",
+    )
+    bench_cmd.add_argument(
+        "-o",
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_omega.json"),
+        help="artifact output path (default: BENCH_omega.json)",
+    )
+    bench_cmd.add_argument(
+        "--suite",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="suite to run (repeatable; default: all suites)",
+    )
+    bench_cmd.add_argument(
+        "--trials",
+        type=int,
+        default=5,
+        help="timed trials per suite and cache leg (default: 5)",
+    )
+    bench_cmd.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="untimed warmup iterations per leg (default: 1)",
+    )
+    bench_cmd.add_argument(
+        "--compare",
+        type=pathlib.Path,
+        metavar="OLD.json",
+        help="baseline artifact; exit nonzero when a median regresses",
+    )
+    bench_cmd.add_argument(
+        "--against",
+        type=pathlib.Path,
+        metavar="NEW.json",
+        help="with --compare: gate OLD against this artifact, skip the run",
+    )
+    bench_cmd.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="median regression tolerance for --compare (default: 0.25)",
+    )
+    bench_cmd.add_argument(
+        "--profile",
+        action="store_true",
+        help="also run one traced pass; write the hotspot table and "
+        "collapsed stacks under results/",
+    )
+    bench_cmd.add_argument(
+        "--results-dir",
+        type=pathlib.Path,
+        default=pathlib.Path("results"),
+        help="directory for the human-readable tables (default: results/)",
+    )
     return parser
 
 
@@ -258,6 +330,80 @@ def _cmd_queries(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import (
+        DEFAULT_THRESHOLD,
+        SUITES,
+        compare,
+        load_artifact,
+        profile_suites,
+        render_report,
+        run_bench,
+    )
+
+    threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+
+    if args.against is not None:
+        # Pure artifact-vs-artifact gate, no timing run.
+        if args.compare is None:
+            print("--against requires --compare OLD.json", file=sys.stderr)
+            return 2
+        comparison = compare(
+            load_artifact(args.compare),
+            load_artifact(args.against),
+            threshold=threshold,
+        )
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+
+    suites = None
+    if args.suite:
+        unknown = [name for name in args.suite if name not in SUITES]
+        if unknown:
+            print(
+                f"unknown suite(s): {', '.join(unknown)} "
+                f"(available: {', '.join(sorted(SUITES))})",
+                file=sys.stderr,
+            )
+            return 2
+        suites = [SUITES[name] for name in args.suite]
+
+    report = run_bench(
+        suites,
+        warmup=args.warmup,
+        trials=args.trials,
+        progress=lambda text: print(f"bench: {text}", file=sys.stderr),
+    )
+    report.write(args.out)
+    print(f"artifact written to {args.out}", file=sys.stderr)
+
+    args.results_dir.mkdir(parents=True, exist_ok=True)
+    table = render_report(report)
+    (args.results_dir / "bench_omega.txt").write_text(table)
+    print(table)
+
+    if args.profile:
+        profile = profile_suites(suites)
+        hotspots = profile.hotspot_table(limit=20)
+        (args.results_dir / "profile_omega.txt").write_text(hotspots + "\n")
+        profile.write_collapsed(args.results_dir / "profile_omega.folded")
+        print(hotspots)
+        print(
+            f"collapsed stacks written to "
+            f"{args.results_dir / 'profile_omega.folded'} "
+            "(feed to flamegraph.pl or speedscope)",
+            file=sys.stderr,
+        )
+
+    if args.compare is not None:
+        comparison = compare(
+            load_artifact(args.compare), report.to_dict(), threshold=threshold
+        )
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+    return 0
+
+
 def _cmd_cholsky(_args) -> int:
     from .programs import cholsky
 
@@ -276,6 +422,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "parallel": _cmd_parallel,
         "queries": _cmd_queries,
         "cholsky": _cmd_cholsky,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

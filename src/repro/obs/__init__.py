@@ -16,6 +16,10 @@ nothing is collecting.  Three cooperating parts:
     The structured per-dependence decision trail behind
     ``analyze(..., AnalysisOptions(explain=True))`` and the CLI's
     ``--explain`` flag.
+``repro.obs.profile``
+    :class:`Profile` aggregates recorded span trees into per-name hotspot
+    statistics (calls, cumulative and self time, child breakdown) and
+    exports collapsed stacks for flamegraphs.
 
 Typical use::
 
@@ -32,6 +36,7 @@ from .metrics import _registries as _metric_registries
 from .metrics import (
     CATALOG,
     DEFAULT_BUCKETS,
+    LATENCY_HISTOGRAMS,
     Histogram,
     MetricsRegistry,
     collecting,
@@ -41,12 +46,14 @@ from .metrics import (
     set_gauge,
 )
 from .metrics import enabled as metrics_enabled
+from .profile import Profile, SpanProfile
 from .trace import (
     Span,
     SpanEvent,
     Tracer,
     chrome_trace,
     current_tracer,
+    read_jsonl,
     span,
     tracing,
 )
@@ -73,13 +80,18 @@ __all__ = [
     "Tracer",
     "chrome_trace",
     "current_tracer",
+    "read_jsonl",
     "span",
     "tracing",
     "tracing_active",
+    # profile
+    "Profile",
+    "SpanProfile",
     # metrics
     "metrics_enabled",
     "CATALOG",
     "DEFAULT_BUCKETS",
+    "LATENCY_HISTOGRAMS",
     "Histogram",
     "MetricsRegistry",
     "collecting",

@@ -29,6 +29,7 @@ from typing import Iterable, Iterator, Mapping
 __all__ = [
     "CATALOG",
     "DEFAULT_BUCKETS",
+    "LATENCY_HISTOGRAMS",
     "Histogram",
     "MetricsRegistry",
     "collecting",
@@ -89,6 +90,21 @@ CATALOG: tuple[str, ...] = (
     "analysis.deps_covered",
 )
 
+#: Well-known latency histograms (seconds), fed from span durations at the
+#: instrumented sites whenever a registry is collecting — with or without
+#: a tracer.  Quantiles come from :meth:`Histogram.quantile`.
+LATENCY_HISTOGRAMS: tuple[str, ...] = (
+    "omega.sat_seconds",
+    "omega.fm_seconds",
+    "omega.project_seconds",
+    "omega.gist_seconds",
+    "analysis.pair_seconds",
+    "analysis.kill_seconds",
+    "analysis.refine_seconds",
+    "analysis.cover_seconds",
+    "analysis.analyze_seconds",
+)
+
 
 class Histogram:
     """A fixed-boundary histogram of float observations."""
@@ -121,6 +137,42 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile by linear interpolation in buckets.
+
+        Within the bucket containing the target rank the mass is assumed
+        uniform; the first bucket's lower edge and the implicit overflow
+        bucket's upper edge come from the tracked ``min`` / ``max``, and
+        the result is clamped to ``[min, max]``.  Returns ``None`` on an
+        empty histogram.
+        """
+
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for index, in_bucket in enumerate(self.bucket_counts):
+            if in_bucket == 0:
+                continue
+            if cumulative + in_bucket >= rank:
+                lower = self.boundaries[index - 1] if index > 0 else self.min
+                upper = (
+                    self.boundaries[index]
+                    if index < len(self.boundaries)
+                    else self.max
+                )
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return max(min(lower, self.max), self.min)
+                fraction = (rank - cumulative) / in_bucket
+                value = lower + (upper - lower) * fraction
+                return max(min(value, self.max), self.min)
+            cumulative += in_bucket
+        return self.max
 
     def merge(self, other: "Histogram") -> None:
         if other.boundaries != self.boundaries:
@@ -216,9 +268,12 @@ class MetricsRegistry:
         for name, value in sorted(self.gauges.items()):
             lines.append(f"{name:<{width}}  {value:g}")
         for name, histogram in sorted(self.histograms.items()):
+            p50 = histogram.quantile(0.5) or 0.0
+            p99 = histogram.quantile(0.99) or 0.0
             lines.append(
                 f"{name:<{width}}  count={histogram.count}"
-                f" mean={histogram.mean:.3g}s max={histogram.max or 0:.3g}s"
+                f" p50={p50:.3g}s p99={p99:.3g}s"
+                f" max={histogram.max or 0:.3g}s"
             )
         return "\n".join(lines)
 

@@ -1,12 +1,16 @@
 """Structured span tracing for the Omega pipeline.
 
 Instrumented sites wrap their work in ``with span("omega.project", ...):``
-blocks.  When no tracer is active on the current thread the call returns a
-shared no-op handle — one thread-local list check — so disabled tracing is
-effectively free.  When a tracer *is* active (pushed with :func:`tracing`),
-each block produces a :class:`SpanEvent` with wall-clock start/duration,
-the recording thread, its parent span (a thread-local span stack tracks
-nesting) and arbitrary attributes.
+blocks.  When neither a tracer nor a metrics registry is active on the
+current thread the call returns a shared no-op handle — two thread-local
+list checks — so disabled instrumentation is effectively free.  When a
+tracer *is* active (pushed with :func:`tracing`), each block produces a
+:class:`SpanEvent` with wall-clock start/duration, the recording thread,
+its parent span (a thread-local span stack tracks nesting) and arbitrary
+attributes.  When only a metrics registry is collecting (no tracer), the
+block still measures a real duration — exposed as ``Span.duration`` — so
+the per-phase latency histograms are populated without paying for event
+storage.
 
 Exporters:
 
@@ -28,7 +32,9 @@ import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .metrics import _registries as _metrics_stack
 
 __all__ = [
     "Span",
@@ -37,6 +43,7 @@ __all__ = [
     "active",
     "chrome_trace",
     "current_tracer",
+    "read_jsonl",
     "span",
     "tracing",
 ]
@@ -65,6 +72,24 @@ class SpanEvent:
             "args": {key: _jsonable(value) for key, value in self.attrs.items()},
         }
 
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "SpanEvent":
+        """Rebuild a span event from a :meth:`to_dict` / JSONL record."""
+
+        return cls(
+            record["name"],
+            record["ts"],
+            record["dur"],
+            record.get("tid", 0),
+            record.get("parent"),
+            record.get("depth", 0),
+            dict(record.get("args", {})),
+        )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
 
 def _jsonable(value):
     if isinstance(value, (int, float, str, bool)) or value is None:
@@ -89,24 +114,51 @@ class Tracer:
 
     # -- exporters ------------------------------------------------------
     def to_chrome_trace(self) -> dict:
-        return chrome_trace(self.events, origin=self.origin)
+        return chrome_trace(self.events)
 
     def write_chrome_trace(self, path) -> None:
         with open(path, "w") as sink:
             json.dump(self.to_chrome_trace(), sink, indent=1)
 
     def write_jsonl(self, path) -> None:
+        origin = min((event.start for event in self.events), default=0.0)
         with open(path, "w") as sink:
             for event in self.events:
                 record = event.to_dict()
-                record["ts"] = event.start - self.origin
+                record["ts"] = event.start - origin
                 sink.write(json.dumps(record))
                 sink.write("\n")
 
 
-def chrome_trace(events: Iterable[SpanEvent], *, origin: float = 0.0) -> dict:
-    """Render span events as a Chrome-trace / Perfetto JSON object."""
+def read_jsonl(path) -> list[SpanEvent]:
+    """Load span events written by :meth:`Tracer.write_jsonl`.
 
+    Attribute values come back as their exported (JSON) forms; parent /
+    depth / thread relationships round-trip exactly, so the events can be
+    fed straight into :class:`repro.obs.profile.Profile`.
+    """
+
+    with open(path) as source:
+        return [
+            SpanEvent.from_dict(json.loads(line))
+            for line in source
+            if line.strip()
+        ]
+
+
+def chrome_trace(events: Iterable[SpanEvent], *, origin: float | None = None) -> dict:
+    """Render span events as a Chrome-trace / Perfetto JSON object.
+
+    Timestamps are normalized against ``origin`` — by default the earliest
+    event start, so the timeline begins at 0 and identical span trees
+    render identically regardless of when they were recorded.  Events are
+    ordered deterministically: by start time, enclosing spans before their
+    children on ties, then by name and thread.
+    """
+
+    events = list(events)
+    if origin is None:
+        origin = min((event.start for event in events), default=0.0)
     trace_events = []
     for event in events:
         trace_events.append(
@@ -123,7 +175,9 @@ def chrome_trace(events: Iterable[SpanEvent], *, origin: float = 0.0) -> dict:
                 },
             }
         )
-    trace_events.sort(key=lambda item: item["ts"])
+    trace_events.sort(
+        key=lambda item: (item["ts"], -item["dur"], item["name"], item["tid"])
+    )
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
@@ -180,6 +234,9 @@ class Span:
         end = perf_counter()
         self.duration = end - self.start
         _state.spans.pop()
+        if not self.tracers:
+            # Metrics-only span: the measured duration is all callers need.
+            return False
         event = SpanEvent(
             self.name,
             self.start,
@@ -198,13 +255,18 @@ def span(name: str, **attrs):
     """A context manager timing one named region of work.
 
     Returns a recording :class:`Span` when a tracer is active on this
-    thread, else a shared no-op handle (``duration`` stays ``0.0``).
+    thread.  When only a metrics registry is collecting, returns a
+    non-recording :class:`Span` that still measures ``duration`` (so call
+    sites can feed latency histograms).  Otherwise returns a shared no-op
+    handle (``duration`` stays ``0.0``).
     """
 
     tracers = _state.tracers
-    if not tracers:
-        return _NULL
-    return Span(name, attrs, tuple(tracers))
+    if tracers:
+        return Span(name, attrs, tuple(tracers))
+    if _metrics_stack.stack:
+        return Span(name, attrs, ())
+    return _NULL
 
 
 def active() -> bool:

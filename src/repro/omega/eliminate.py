@@ -288,8 +288,9 @@ def fourier_motzkin(
     if _obs_off():
         return _fourier_motzkin(problem, var, want_splinters, max_splinters)
     _metrics.inc("omega.fm_calls")
-    with _span("omega.fourier_motzkin", var=var.name):
+    with _span("omega.fourier_motzkin", var=var.name) as sp:
         result = _fourier_motzkin(problem, var, want_splinters, max_splinters)
+    _metrics.observe("omega.fm_seconds", sp.duration)
     if not result.exact:
         _metrics.inc("omega.fm_inexact")
         if result.splinters:

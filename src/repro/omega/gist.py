@@ -180,7 +180,7 @@ def _gist_traced(
     attrs: dict = {"p": p.name, "q": q.name}
     if cache_tag is not None:
         attrs["cache"] = cache_tag
-    with _span("omega.gist", **attrs):
+    with _span("omega.gist", **attrs) as sp:
         result = _gist(
             p,
             q,
@@ -188,6 +188,7 @@ def _gist_traced(
             stop_if_not_true=stop_if_not_true,
             use_fast_checks=use_fast_checks,
         )
+    _metrics.observe("omega.gist_seconds", sp.duration)
     _metrics.inc("omega.gists")
     if stats.dropped:
         _metrics.inc("omega.gist_simplifications", stats.dropped)

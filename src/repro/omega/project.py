@@ -124,8 +124,9 @@ def _project_traced(
     attrs: dict = {"kept": len(kept)}
     if cache_tag is not None:
         attrs["cache"] = cache_tag
-    with _span("omega.project", **attrs):
+    with _span("omega.project", **attrs) as sp:
         projection = _project(problem, kept)
+    _metrics.observe("omega.project_seconds", sp.duration)
     _metrics.inc("omega.projections")
     _metrics.inc("omega.projection_pieces", len(projection.pieces))
     if projection.splintered:

@@ -130,8 +130,12 @@ def is_satisfiable(problem: Problem) -> bool:
         if _obs_off():
             return _sat(problem, 0)
         _bump("satisfiability_tests")
-        with _span("omega.is_satisfiable", constraints=len(problem.constraints)):
-            return _sat(problem, 0)
+        with _span(
+            "omega.is_satisfiable", constraints=len(problem.constraints)
+        ) as sp:
+            result = _sat(problem, 0)
+        _metrics.observe("omega.sat_seconds", sp.duration)
+        return result
 
     key = _cache.sat_key(problem.canonical())
     entry = cache.get(key)
@@ -153,8 +157,9 @@ def is_satisfiable(problem: Problem) -> bool:
                 "omega.is_satisfiable",
                 constraints=len(problem.constraints),
                 cache="miss",
-            ):
+            ) as sp:
                 result = _sat(problem, 0)
+            _metrics.observe("omega.sat_seconds", sp.duration)
     except OmegaComplexityError as exc:
         cache.put(key, _cache.Raised(str(exc)))
         raise

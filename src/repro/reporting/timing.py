@@ -24,7 +24,7 @@ from typing import Sequence
 from ..analysis import AnalysisOptions, analyze
 from ..analysis.results import KillTiming, PairCategory, PairRecord
 from ..ir.ast import Program
-from ..obs import SpanEvent, Tracer, chrome_trace, tracing
+from ..obs import Profile, SpanEvent, Tracer, chrome_trace, tracing
 
 __all__ = [
     "TimingStudy",
@@ -80,6 +80,11 @@ class TimingStudy:
             count, seconds = totals.get(event.name, (0, 0.0))
             totals[event.name] = (count + 1, seconds + event.duration)
         return totals
+
+    def profile(self) -> Profile:
+        """Aggregate every recorded span tree into one corpus profile."""
+
+        return Profile.from_events(self.span_events())
 
     def to_chrome_trace(self) -> dict:
         """The whole corpus as one Chrome-trace object.

@@ -1,0 +1,114 @@
+"""Regression-gate tests: artifact comparison and thresholds."""
+
+import pytest
+
+from repro.bench import compare
+
+
+def _artifact(medians):
+    """Build a minimal artifact: {suite: {leg: median}}."""
+
+    return {
+        "schema": "repro.bench/1",
+        "suites": {
+            suite: {
+                "legs": {
+                    leg: {"median_s": median}
+                    for leg, median in legs.items()
+                }
+            }
+            for suite, legs in medians.items()
+        },
+    }
+
+
+BASE = _artifact(
+    {
+        "corpus": {"on": 4.0, "off": 5.0},
+        "cholsky": {"on": 2.0, "off": 2.2},
+    }
+)
+
+
+class TestGate:
+    def test_identical_artifacts_pass(self):
+        comparison = compare(BASE, BASE)
+        assert comparison.ok
+        assert comparison.regressions == []
+        assert "gate: PASS" in comparison.render()
+
+    def test_regression_past_threshold_fails(self):
+        slower = _artifact(
+            {
+                "corpus": {"on": 4.0 * 1.3, "off": 5.0},
+                "cholsky": {"on": 2.0, "off": 2.2},
+            }
+        )
+        comparison = compare(BASE, slower)
+        assert not comparison.ok
+        (regression,) = comparison.regressions
+        assert (regression.suite, regression.leg) == ("corpus", "on")
+        assert regression.ratio == pytest.approx(1.3)
+        assert "REGRESSED" in comparison.render()
+
+    def test_regression_within_threshold_passes(self):
+        slightly_slower = _artifact(
+            {
+                "corpus": {"on": 4.0 * 1.2, "off": 5.0},
+                "cholsky": {"on": 2.0, "off": 2.2},
+            }
+        )
+        assert compare(BASE, slightly_slower).ok
+
+    def test_improvements_never_fail(self):
+        faster = _artifact(
+            {
+                "corpus": {"on": 1.0, "off": 1.0},
+                "cholsky": {"on": 0.5, "off": 0.5},
+            }
+        )
+        assert compare(BASE, faster).ok
+
+    def test_custom_threshold(self):
+        slower = _artifact(
+            {
+                "corpus": {"on": 4.4, "off": 5.0},
+                "cholsky": {"on": 2.0, "off": 2.2},
+            }
+        )
+        assert compare(BASE, slower).ok  # +10% < default 25%
+        assert not compare(BASE, slower, threshold=0.05).ok
+
+    def test_missing_suite_fails_the_gate(self):
+        dropped = _artifact({"corpus": {"on": 4.0, "off": 5.0}})
+        comparison = compare(BASE, dropped)
+        assert not comparison.ok
+        assert comparison.missing == ["cholsky"]
+        assert "MISSING" in comparison.render()
+
+    def test_missing_leg_fails_the_gate(self):
+        one_legged = _artifact(
+            {
+                "corpus": {"on": 4.0},
+                "cholsky": {"on": 2.0, "off": 2.2},
+            }
+        )
+        comparison = compare(BASE, one_legged)
+        assert not comparison.ok
+        assert comparison.missing == ["corpus/cache-off"]
+
+    def test_new_suites_in_new_artifact_are_ignored(self):
+        grown = _artifact(
+            {
+                "corpus": {"on": 4.0, "off": 5.0},
+                "cholsky": {"on": 2.0, "off": 2.2},
+                "extra": {"on": 9.0, "off": 9.0},
+            }
+        )
+        assert compare(BASE, grown).ok
+
+    def test_zero_baseline_counts_as_regression_when_new_is_slower(self):
+        old = _artifact({"corpus": {"on": 0.0, "off": 1.0}})
+        new = _artifact({"corpus": {"on": 0.5, "off": 1.0}})
+        comparison = compare(old, new)
+        assert not comparison.ok

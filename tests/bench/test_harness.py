@@ -1,0 +1,105 @@
+"""Benchmark harness tests: runner mechanics, artifact schema, profiling.
+
+Timing runs use a synthetic micro-suite (so the suite stays tier-1 fast);
+one integration test exercises the real ``symbolic`` suite end to end.
+"""
+
+import json
+import math
+
+from repro.bench import (
+    SCHEMA,
+    SUITES,
+    Suite,
+    machine_fingerprint,
+    profile_suites,
+    render_report,
+    run_bench,
+)
+
+
+def _micro_suite(log=None):
+    def run(cache):
+        total = sum(range(200 if cache else 400))
+        if log is not None:
+            log.append((cache, total))
+
+    return Suite("micro", "synthetic micro workload", run)
+
+
+class TestRunner:
+    def test_runs_warmup_and_trials_in_both_legs(self):
+        log = []
+        run_bench([_micro_suite(log)], warmup=2, trials=3)
+        # cache-on leg first: 2 warmup + 3 timed, then the same cache-off.
+        flags = [cache for cache, _ in log]
+        assert flags == [True] * 5 + [False] * 5
+
+    def test_report_statistics(self):
+        report = run_bench([_micro_suite()], warmup=0, trials=5)
+        result = report.suites["micro"]
+        for leg in ("on", "off"):
+            stats = result.legs[leg]
+            assert len(stats.trials) == 5
+            assert stats.median_s > 0
+            assert min(stats.trials) <= stats.median_s <= max(stats.trials)
+            assert stats.iqr_s >= 0
+        assert result.speedup > 0
+
+    def test_median_is_the_statistical_median(self):
+        report = run_bench([_micro_suite()], warmup=0, trials=3)
+        stats = report.suites["micro"].legs["on"]
+        assert stats.median_s == sorted(stats.trials)[1]
+
+
+class TestArtifact:
+    def test_schema_and_shape(self, tmp_path):
+        report = run_bench([_micro_suite()], warmup=0, trials=2)
+        path = tmp_path / "BENCH_omega.json"
+        report.write(path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA
+        assert payload["settings"] == {"warmup": 0, "trials": 2}
+        for key in ("platform", "python", "implementation", "cpus"):
+            assert key in payload["machine"]
+        legs = payload["suites"]["micro"]["legs"]
+        assert set(legs) == {"on", "off"}
+        for leg in legs.values():
+            assert {"median_s", "iqr_s", "min_s", "max_s", "trials_s"} <= set(leg)
+            assert len(leg["trials_s"]) == 2
+        assert payload["suites"]["micro"]["cache_speedup"] > 0
+
+    def test_fingerprint_is_stable_within_a_process(self):
+        assert machine_fingerprint() == machine_fingerprint()
+
+    def test_render_report_table(self):
+        report = run_bench([_micro_suite()], warmup=0, trials=2)
+        table = render_report(report)
+        assert "micro" in table
+        assert "cache speedup" in table
+        assert "median" in table and "iqr" in table
+
+
+class TestRegisteredSuites:
+    def test_paper_suites_registered(self):
+        assert {"corpus", "cholsky", "symbolic"} <= set(SUITES)
+
+    def test_symbolic_suite_end_to_end(self):
+        report = run_bench([SUITES["symbolic"]], warmup=0, trials=1)
+        legs = report.suites["symbolic"].legs
+        assert legs["on"].median_s > 0
+        assert legs["off"].median_s > 0
+
+
+class TestProfileIntegration:
+    def test_profile_suites_produces_hotspots(self):
+        profile = profile_suites([SUITES["symbolic"]])
+        assert profile.root_time > 0
+        assert math.isclose(
+            profile.total_self_time(), profile.root_time, rel_tol=0.01
+        )
+        names = set(profile.profiles)
+        assert "omega.is_satisfiable" in names
+        table = profile.hotspot_table(limit=5)
+        assert "self%" in table
+        assert profile.collapsed_stacks().strip()

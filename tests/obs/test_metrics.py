@@ -123,3 +123,80 @@ class TestModuleHelpers:
         except RuntimeError:
             pass
         assert not enabled()
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_returns_none(self):
+        hist = Histogram()
+        assert hist.quantile(0.5) is None
+        assert hist.quantile(0.0) is None
+        assert hist.quantile(1.0) is None
+
+    def test_out_of_range_q_rejected(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
+    def test_single_observation(self):
+        hist = Histogram(boundaries=(1.0, 10.0))
+        hist.observe(0.25)
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == pytest.approx(0.25)
+
+    def test_single_bucket_mass_interpolates_within_bucket(self):
+        hist = Histogram(boundaries=(1.0, 10.0))
+        for value in (2.0, 4.0, 6.0, 8.0):
+            hist.observe(value)
+        # All mass in the (1.0, 10.0] bucket; edges tighten to min/max.
+        p50 = hist.quantile(0.5)
+        assert 2.0 <= p50 <= 8.0
+        assert hist.quantile(0.0) == pytest.approx(2.0)
+        assert hist.quantile(1.0) == pytest.approx(8.0)
+
+    def test_quantiles_are_monotone_across_buckets(self):
+        hist = Histogram(boundaries=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0, 3.5, 5.0):
+            hist.observe(value)
+        quantiles = [hist.quantile(q) for q in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)]
+        assert quantiles == sorted(quantiles)
+        assert hist.min <= quantiles[0]
+        assert quantiles[-1] <= hist.max
+
+    def test_implicit_overflow_bucket_uses_observed_max(self):
+        hist = Histogram(boundaries=(1.0,))
+        for value in (10.0, 20.0, 30.0):
+            hist.observe(value)
+        # Upper edge of the +inf bucket is the tracked max, not infinity.
+        assert hist.quantile(1.0) == pytest.approx(30.0)
+        assert 10.0 <= hist.quantile(0.5) <= 30.0
+
+    def test_merge_then_quantile_consistency(self):
+        boundaries = (0.001, 0.01, 0.1, 1.0)
+        merged, combined = Histogram(boundaries), Histogram(boundaries)
+        first = (0.0005, 0.002, 0.003, 0.05)
+        second = (0.02, 0.3, 2.0)
+        other = Histogram(boundaries)
+        for value in first:
+            merged.observe(value)
+            combined.observe(value)
+        for value in second:
+            other.observe(value)
+            combined.observe(value)
+        merged.merge(other)
+        for q in (0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+            assert merged.quantile(q) == pytest.approx(combined.quantile(q))
+
+    def test_summary_prints_histogram_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (0.001, 0.002, 0.4):
+            registry.observe("analysis.pair_seconds", value)
+        line = [
+            text
+            for text in registry.summary().splitlines()
+            if text.startswith("analysis.pair_seconds")
+        ][0]
+        assert "count=3" in line
+        assert "p50=" in line and "p99=" in line and "max=" in line

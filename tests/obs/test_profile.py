@@ -1,0 +1,151 @@
+"""Profiler unit tests: tree reconstruction, self times, collapsed stacks."""
+
+import math
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.obs import Profile, SpanEvent, Tracer, span, tracing
+from repro.programs import corpus
+
+
+def _event(name, start, dur, parent=None, depth=0, tid=1):
+    return SpanEvent(name, start, dur, tid, parent, depth)
+
+
+def _synthetic_tree():
+    """root(10s) { a(4s) { b(1s) } a(2s) }  -> root self 4, a self 5, b self 1."""
+
+    return [
+        _event("root", 0.0, 10.0),
+        _event("a", 1.0, 4.0, "root", 1),
+        _event("b", 2.0, 1.0, "a", 2),
+        _event("a", 6.0, 2.0, "root", 1),
+    ]
+
+
+class TestSyntheticTrees:
+    def test_counts_cumulative_and_self(self):
+        profile = Profile.from_events(_synthetic_tree())
+        root = profile.profiles["root"]
+        a = profile.profiles["a"]
+        b = profile.profiles["b"]
+        assert (root.count, a.count, b.count) == (1, 2, 1)
+        assert root.cumulative == 10.0 and a.cumulative == 6.0
+        assert root.self_time == 4.0  # 10 - (4 + 2)
+        assert a.self_time == 5.0  # 6 - 1
+        assert b.self_time == 1.0
+
+    def test_child_breakdown(self):
+        profile = Profile.from_events(_synthetic_tree())
+        assert profile.profiles["root"].children == {"a": (2, 6.0)}
+        assert profile.profiles["a"].children == {"b": (1, 1.0)}
+
+    def test_root_totals(self):
+        profile = Profile.from_events(_synthetic_tree())
+        assert profile.root_count == 1
+        assert profile.root_time == 10.0
+        assert profile.total_self_time() == 10.0
+
+    def test_multiple_roots_accumulate(self):
+        events = _synthetic_tree() + [_event("root", 20.0, 5.0)]
+        profile = Profile.from_events(events)
+        assert profile.root_count == 2
+        assert profile.root_time == 15.0
+        assert profile.total_self_time() == 15.0
+
+    def test_threads_are_independent(self):
+        # Same names on another thread must not nest under thread 1 spans.
+        events = _synthetic_tree() + [
+            _event("root", 1.5, 3.0, tid=2),
+            _event("a", 2.0, 1.0, "root", 1, tid=2),
+        ]
+        profile = Profile.from_events(events)
+        assert profile.root_count == 2
+        assert profile.root_time == 13.0
+        assert profile.profiles["root"].self_time == 4.0 + 2.0
+
+    def test_collapsed_stacks(self):
+        profile = Profile.from_events(_synthetic_tree())
+        lines = profile.collapsed_stacks().splitlines()
+        assert "root 4000000" in lines
+        assert "root;a 5000000" in lines
+        assert "root;a;b 1000000" in lines
+        assert len(lines) == 3
+
+    def test_collapsed_stacks_drop_zero_self_paths(self):
+        events = [
+            _event("root", 0.0, 1.0),
+            _event("leaf", 0.0, 1.0, "root", 1),
+        ]
+        lines = Profile.from_events(events).collapsed_stacks().splitlines()
+        assert lines == ["root;leaf 1000000"]
+
+    def test_write_collapsed(self, tmp_path):
+        path = tmp_path / "omega.folded"
+        Profile.from_events(_synthetic_tree()).write_collapsed(path)
+        assert path.read_text() == Profile.from_events(
+            _synthetic_tree()
+        ).collapsed_stacks()
+
+    def test_hotspot_table_orders_by_self_time(self):
+        table = Profile.from_events(_synthetic_tree()).hotspot_table()
+        lines = table.splitlines()
+        assert lines[2].startswith("a")  # heaviest self time first
+        assert lines[3].startswith("root")
+        assert lines[4].startswith("b")
+        assert "100.0%" in lines[-1]
+
+    def test_hotspot_table_limit(self):
+        table = Profile.from_events(_synthetic_tree()).hotspot_table(limit=1)
+        body = table.splitlines()[2:-1]
+        assert len(body) == 1
+
+    def test_to_dict_shape(self):
+        payload = Profile.from_events(_synthetic_tree()).to_dict()
+        assert payload["root_time_s"] == 10.0
+        names = [entry["name"] for entry in payload["spans"]]
+        assert set(names) == {"root", "a", "b"}
+        by_name = {entry["name"]: entry for entry in payload["spans"]}
+        assert by_name["root"]["children"]["a"] == {"count": 2, "seconds": 6.0}
+
+
+class TestRealTraces:
+    def _profile_program(self, program):
+        tracer = Tracer()
+        with tracing(tracer):
+            analyze(program, AnalysisOptions())
+        return Profile.from_tracer(tracer), tracer
+
+    def test_self_times_sum_to_root_wall_time(self):
+        profile, tracer = self._profile_program(corpus.wavefront())
+        roots = [e for e in tracer.events if e.depth == 0]
+        wall = sum(e.duration for e in roots)
+        assert profile.root_count == len(roots)
+        # Acceptance: self times partition the root wall time within 1%
+        # (they telescope exactly, so this is comfortably tight).
+        assert math.isclose(profile.total_self_time(), wall, rel_tol=0.01)
+        assert math.isclose(profile.root_time, wall, rel_tol=1e-12)
+
+    def test_nested_span_attribution(self):
+        profile, _ = self._profile_program(corpus.stencil3())
+        pair = profile.profiles["analysis.pair"]
+        assert "analysis.pair.standard" in pair.children
+        # Satisfiability runs inside other sites, never as a root.
+        sat = profile.profiles["omega.is_satisfiable"]
+        assert sat.cumulative >= sat.self_time >= 0.0
+
+    def test_collapsed_paths_start_at_the_root_span(self):
+        profile, _ = self._profile_program(corpus.prefix_sum())
+        for path in profile.stacks:
+            assert path.split(";")[0] == "analysis.analyze"
+
+    def test_profile_via_span_helper_matches_tracer(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        profile = Profile.from_tracer(tracer)
+        outer = profile.profiles["outer"]
+        inner = profile.profiles["inner"]
+        assert outer.children["inner"] == (1, inner.cumulative)
+        assert outer.self_time == outer.cumulative - inner.cumulative

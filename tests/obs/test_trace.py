@@ -3,8 +3,19 @@
 import json
 import threading
 
+import pytest
+
 from repro.obs import trace
-from repro.obs.trace import Span, Tracer, active, chrome_trace, current_tracer, span, tracing
+from repro.obs.trace import (
+    Span,
+    SpanEvent,
+    Tracer,
+    active,
+    chrome_trace,
+    current_tracer,
+    span,
+    tracing,
+)
 
 
 class TestDisabled:
@@ -141,3 +152,135 @@ class TestExport:
         for thread in threads:
             thread.join()
         assert len(tracer.events) == 200
+
+
+class TestMetricsOnlySpans:
+    def test_span_measures_duration_without_tracer(self):
+        from repro.obs.metrics import collecting
+
+        with collecting():
+            handle = span("omega.project", kept=1)
+            assert isinstance(handle, Span)
+            with handle as sp:
+                pass
+            assert sp.duration > 0.0
+        # Nothing was recorded anywhere: no tracer existed.
+        assert current_tracer() is None
+
+    def test_metrics_only_spans_still_track_nesting(self):
+        from repro.obs.metrics import collecting
+
+        tracer = Tracer()
+        with collecting():
+            with span("outer"):
+                # A tracer activated mid-tree sees correct parents.
+                with tracing(tracer):
+                    with span("inner"):
+                        pass
+        assert tracer.events[0].parent == "outer"
+        assert tracer.events[0].depth == 1
+
+
+def _record_tree(starts_and_durs):
+    """Record a synthetic, exactly-reproducible span tree into a Tracer."""
+
+    tracer = Tracer()
+    for name, start, dur, parent, depth in starts_and_durs:
+        tracer.record(SpanEvent(name, start, dur, 7, parent, depth))
+    return tracer
+
+
+_TREE = (
+    ("analysis.analyze", 100.0, 2.0, None, 0),
+    ("analysis.pair", 100.5, 1.0, "analysis.analyze", 1),
+    ("omega.is_satisfiable", 100.5, 0.25, "analysis.pair", 2),
+)
+
+
+class TestDeterministicExport:
+    def test_identical_trees_export_byte_identically(self):
+        # Same tree recorded at different wall-clock origins: timestamps
+        # are origin-normalized, so the serialized exports are identical.
+        first = _record_tree(_TREE)
+        shifted = _record_tree(
+            (name, start + 5000.0, dur, parent, depth)
+            for name, start, dur, parent, depth in _TREE
+        )
+        payload_a = json.dumps(first.to_chrome_trace(), sort_keys=True)
+        payload_b = json.dumps(shifted.to_chrome_trace(), sort_keys=True)
+        assert payload_a == payload_b
+
+    def test_timeline_starts_at_zero(self):
+        payload = _record_tree(_TREE).to_chrome_trace()
+        assert payload["traceEvents"][0]["ts"] == 0.0
+
+    def test_ties_order_enclosing_span_first(self):
+        # analysis.pair and omega.is_satisfiable start at the same tick;
+        # the longer (enclosing) span must sort first.
+        events = _record_tree(_TREE).to_chrome_trace()["traceEvents"]
+        names = [event["name"] for event in events]
+        assert names == [
+            "analysis.analyze",
+            "analysis.pair",
+            "omega.is_satisfiable",
+        ]
+
+    def test_export_is_insensitive_to_record_order(self):
+        reordered = _record_tree(reversed(_TREE))
+        assert json.dumps(
+            _record_tree(_TREE).to_chrome_trace(), sort_keys=True
+        ) == json.dumps(reordered.to_chrome_trace(), sort_keys=True)
+
+
+class TestJsonlRoundTrip:
+    def test_parent_child_relationships_round_trip(self, tmp_path):
+        from repro.obs.trace import read_jsonl
+
+        path = tmp_path / "spans.jsonl"
+        _record_tree(_TREE).write_jsonl(path)
+        events = read_jsonl(path)
+        assert [(e.name, e.parent, e.depth) for e in events] == [
+            (name, parent, depth)
+            for name, _start, _dur, parent, depth in _TREE
+        ]
+        assert all(e.thread_id == 7 for e in events)
+        # Timestamps are rebased to the first event, durations exact.
+        assert events[0].start == 0.0
+        assert events[1].start == pytest.approx(0.5)
+        assert [e.duration for e in events] == [2.0, 1.0, 0.25]
+
+    def test_round_tripped_events_profile_identically(self, tmp_path):
+        from repro.obs.profile import Profile
+        from repro.obs.trace import read_jsonl
+
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        tracer.write_jsonl(path)
+        direct = Profile.from_tracer(tracer)
+        revived = Profile.from_events(read_jsonl(path))
+        assert {
+            name: (entry.count, entry.cumulative, entry.self_time)
+            for name, entry in direct.profiles.items()
+        } == {
+            name: (entry.count, entry.cumulative, entry.self_time)
+            for name, entry in revived.profiles.items()
+        }
+
+    def test_live_traced_tree_round_trips(self, tmp_path):
+        from repro.obs.trace import read_jsonl
+
+        path = tmp_path / "live.jsonl"
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("analysis.pair", src="w", dst="r"):
+                with span("omega.project"):
+                    pass
+        tracer.write_jsonl(path)
+        by_name = {e.name: e for e in read_jsonl(path)}
+        assert by_name["omega.project"].parent == "analysis.pair"
+        assert by_name["omega.project"].depth == 1
+        assert by_name["analysis.pair"].attrs == {"src": "w", "dst": "r"}

@@ -174,3 +174,162 @@ class TestObservabilityFlags:
         out = capsys.readouterr().out
         assert "Decision trail" not in out
         assert "metric" not in out
+
+
+class TestStatsHistograms:
+    def test_stats_prints_per_phase_latency_histograms(self, program_file, capsys):
+        # Histograms populate without a tracer: the --stats registry alone
+        # must yield per-phase latency distributions, not silently omit
+        # every non-counter metric.
+        assert main(["analyze", str(program_file), "--stats"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "omega.sat_seconds",
+            "analysis.pair_seconds",
+            "analysis.analyze_seconds",
+        ):
+            assert name in out, name
+        hist_line = [
+            line for line in out.splitlines() if "analysis.pair_seconds" in line
+        ][0]
+        assert "count=" in hist_line
+        assert "p50=" in hist_line
+        assert "p99=" in hist_line
+
+    def test_stats_histogram_counts_are_nonzero(self, program_file, capsys):
+        import re
+
+        main(["analyze", str(program_file), "--stats"])
+        out = capsys.readouterr().out
+        match = re.search(r"omega\.sat_seconds\s+count=(\d+)", out)
+        assert match is not None
+        assert int(match.group(1)) > 0
+
+
+class TestBenchCommand:
+    def _artifact(self, path, medians):
+        import json
+
+        payload = {
+            "schema": "repro.bench/1",
+            "suites": {
+                suite: {
+                    "legs": {
+                        leg: {"median_s": median}
+                        for leg, median in legs.items()
+                    }
+                }
+                for suite, legs in medians.items()
+            },
+        }
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_bench_writes_artifact_and_table(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_omega.json"
+        results = tmp_path / "results"
+        code = main(
+            [
+                "bench",
+                "--suite",
+                "symbolic",
+                "--trials",
+                "1",
+                "--warmup",
+                "0",
+                "--out",
+                str(out),
+                "--results-dir",
+                str(results),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.bench/1"
+        assert set(payload["suites"]["symbolic"]["legs"]) == {"on", "off"}
+        assert (results / "bench_omega.txt").exists()
+        assert "cache speedup" in capsys.readouterr().out
+
+    def test_bench_profile_writes_hotspots_and_stacks(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        code = main(
+            [
+                "bench",
+                "--suite",
+                "symbolic",
+                "--trials",
+                "1",
+                "--warmup",
+                "0",
+                "--profile",
+                "--out",
+                str(tmp_path / "b.json"),
+                "--results-dir",
+                str(results),
+            ]
+        )
+        assert code == 0
+        assert "self%" in (results / "profile_omega.txt").read_text()
+        folded = (results / "profile_omega.folded").read_text()
+        assert folded.strip()
+        path, micros = folded.splitlines()[0].rsplit(" ", 1)
+        assert int(micros) > 0 and path
+        assert "self%" in capsys.readouterr().out
+
+    def test_compare_against_itself_exits_zero(self, tmp_path, capsys):
+        artifact = self._artifact(
+            tmp_path / "old.json", {"corpus": {"on": 1.0, "off": 1.5}}
+        )
+        code = main(
+            ["bench", "--compare", str(artifact), "--against", str(artifact)]
+        )
+        assert code == 0
+        assert "gate: PASS" in capsys.readouterr().out
+
+    def test_compare_detects_inflated_median(self, tmp_path, capsys):
+        old = self._artifact(
+            tmp_path / "old.json", {"corpus": {"on": 1.0, "off": 1.5}}
+        )
+        inflated = self._artifact(
+            tmp_path / "new.json", {"corpus": {"on": 1.0, "off": 1.5 * 1.26}}
+        )
+        code = main(["bench", "--compare", str(old), "--against", str(inflated)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "gate: FAIL" in out
+        assert "REGRESSED" in out
+
+    def test_compare_threshold_flag(self, tmp_path):
+        old = self._artifact(
+            tmp_path / "old.json", {"corpus": {"on": 1.0, "off": 1.5}}
+        )
+        slower = self._artifact(
+            tmp_path / "new.json", {"corpus": {"on": 1.1, "off": 1.5}}
+        )
+        assert main(
+            ["bench", "--compare", str(old), "--against", str(slower)]
+        ) == 0
+        assert main(
+            [
+                "bench",
+                "--compare",
+                str(old),
+                "--against",
+                str(slower),
+                "--threshold",
+                "0.05",
+            ]
+        ) == 1
+
+    def test_against_requires_compare(self, tmp_path, capsys):
+        artifact = self._artifact(
+            tmp_path / "a.json", {"corpus": {"on": 1.0, "off": 1.0}}
+        )
+        assert main(["bench", "--against", str(artifact)]) == 2
+        assert "--compare" in capsys.readouterr().err
+
+    def test_unknown_suite_rejected(self, capsys):
+        assert main(["bench", "--suite", "nope"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
