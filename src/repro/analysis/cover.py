@@ -17,11 +17,11 @@ tests instead, exactly as the paper describes).
 
 from __future__ import annotations
 
-from ..obs import metrics as _metrics
-from ..obs.trace import span as _span
+from ..obs.instrument import metrics as _metrics
+from ..obs.instrument import span as _span
 from ..omega import Problem, Variable
-from ..omega.cache import implies_union, is_satisfiable, project
 from ..omega.errors import OmegaComplexityError
+from ..solver import implies, implies_union, is_satisfiable, project
 from .dependences import Dependence
 
 __all__ = ["covers_destination", "terminates_source", "cover_quick_reject"]
@@ -55,8 +55,6 @@ def _check_universal_coverage(
         return implies_union(lhs, projection.pieces)
     except OmegaComplexityError:
         # Sound fallback: test against the dark shadow only.
-        from ..omega.gist import implies
-
         return implies(lhs, projection.dark)
 
 

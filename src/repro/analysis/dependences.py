@@ -15,7 +15,7 @@ from typing import Iterable, Sequence
 
 from ..ir.ast import Access
 from ..omega import Constraint, Problem, Variable
-from ..omega.cache import is_satisfiable
+from ..solver import is_satisfiable, satisfiable_batch
 from .problem import PairProblem, SymbolTable, build_pair_problem
 from .vectors import (
     DirectionVector,
@@ -156,13 +156,19 @@ def compute_dependences(
         return []
 
     restraints = restraint_vectors(base, pair.delta_vars, pair.forward)
-    found: list[Dependence] = []
-    for restraint in restraints:
-        constrained = Problem(
+    constrained_problems = [
+        Problem(
             list(base.constraints) + restraint.constraints(pair.delta_vars),
             name=base.name,
         )
-        if not is_satisfiable(constrained):
+        for restraint in restraints
+    ]
+    feasible = satisfiable_batch(constrained_problems)
+    found: list[Dependence] = []
+    for restraint, constrained, satisfiable in zip(
+        restraints, constrained_problems, feasible
+    ):
+        if not satisfiable:
             continue
         directions: list[DirectionVector] = []
         if want_directions:

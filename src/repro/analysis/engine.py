@@ -28,14 +28,20 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..ir.ast import Access, Program
-from ..obs import metrics as _metrics
 from ..obs.explain import ExplainLog
-from ..obs.trace import Tracer
-from ..obs.trace import active as _tracing_active
-from ..obs.trace import span as _span
-from ..obs.trace import tracing as _tracing
-from ..omega import Constraint, SolverCache, caching, current_cache
-from ..omega.cache import default_cache_enabled, default_cache_size
+from ..obs.instrument import Tracer
+from ..obs.instrument import metrics as _metrics
+from ..obs.instrument import span as _span
+from ..obs.instrument import tracing as _tracing
+from ..obs.instrument import tracing_active as _tracing_active
+from ..omega import Constraint
+from ..solver import (
+    SolverService,
+    current_service,
+    default_cache_enabled,
+    default_cache_size,
+    default_workers,
+)
 from .cover import cover_quick_reject, covers_destination, terminates_source
 from .dependences import (
     Dependence,
@@ -55,6 +61,17 @@ def _subject(dep: Dependence) -> str:
     """A stable explain-mode key for a dependence (no mutable tags)."""
 
     return f"{dep.kind.value}: {dep.src} -> {dep.dst}"
+
+
+@dataclass
+class _ReadSink:
+    """Per-read collection of side outputs (explain decisions, timing
+    records).  Each flow task writes only to its own sink, so tasks can run
+    concurrently; the engine merges sinks in read order afterwards."""
+
+    explain: ExplainLog | None
+    pair_records: list[PairRecord] = field(default_factory=list)
+    kill_timings: list[KillTiming] = field(default_factory=list)
 
 
 @dataclass
@@ -95,6 +112,15 @@ class AnalysisOptions:
     #: LRU capacity of the per-analysis cache (``REPRO_CACHE_SIZE`` or
     #: 4096 entries).
     cache_size: int = field(default_factory=default_cache_size)
+    #: Solver worker threads (``REPRO_WORKERS`` or 1).  With 1 the engine
+    #: runs today's exact serial pipeline; with more, independent per-read
+    #: flow tasks and solver batches overlap on a thread pool, merged back
+    #: deterministically in program order (results are identical).
+    workers: int = field(default_factory=default_workers)
+    #: An explicit :class:`repro.solver.SolverService` to use instead of
+    #: building one (advanced: lets callers share a service — and its memo
+    #: — across many ``analyze`` calls).
+    solver: "SolverService | None" = None
 
 
 def analyze(program: Program, options: AnalysisOptions | None = None) -> AnalysisResult:
@@ -121,6 +147,9 @@ class Analyzer:
             ExplainLog() if options.explain else None
         )
         self.result.explain = self.explain
+        #: The solver service every query of this run goes through (set by
+        #: :meth:`run`; adopted or private, see there).
+        self.service: SolverService | None = None
 
     # ------------------------------------------------------------------
     def run(self) -> AnalysisResult:
@@ -133,20 +162,32 @@ class Analyzer:
         with ExitStack() as stack:
             if tracer is not None:
                 stack.enter_context(_tracing(tracer))
-            cache: SolverCache | None = None
-            if self.options.cache:
-                cache = current_cache()
-                if cache is None:
-                    cache = stack.enter_context(
-                        caching(SolverCache(self.options.cache_size))
-                    )
+            # Every Omega query goes through one SolverService.  An
+            # explicitly-passed or enclosing (activated) service is adopted
+            # — sharing its cache across programs, like the old enclosing
+            # ``caching(...)`` scope did — and left open; otherwise the
+            # engine builds a private one for this run.
+            service = self.options.solver
+            if service is None:
+                service = current_service()
+            if service is None:
+                service = SolverService.for_options(
+                    cache=self.options.cache,
+                    cache_size=self.options.cache_size,
+                    workers=self.options.workers,
+                )
+                stack.callback(service.close)
+            self.service = service
+            stack.enter_context(service.activate())
             with _span("analysis.analyze", program=self.program.name) as sp:
                 self._run_phases()
             if sp.duration:
                 _metrics.observe("analysis.analyze_seconds", sp.duration)
-            if cache is not None:
-                self.result.cache_stats = cache.stats()
-                _metrics.set_gauge("omega.cache.size", len(cache))
+            if self.options.cache:
+                stats = service.cache_stats()
+                if stats is not None:
+                    self.result.cache_stats = stats
+                    _metrics.set_gauge("omega.cache.size", stats["size"])
         return self.result
 
     def _run_phases(self) -> None:
@@ -250,34 +291,57 @@ class Analyzer:
     def _compute_flow_dependences(
         self, reads: Sequence[Access], writes: Sequence[Access]
     ) -> None:
-        kill_tester = KillTester(
+        # Each read's pipeline (pairs -> cover -> terminators -> kills) is
+        # independent of every other read's, so the reads are fanned out as
+        # service tasks — concurrent when the service is pipelined, inline
+        # and in order when serial — and their sinks are merged back into
+        # the shared result strictly in program (read) order, keeping the
+        # output deterministic regardless of completion order.
+        outcomes = self.service.map(
+            lambda read: self._analyze_read(read, writes), reads
+        )
+        for per_read, sink in outcomes:
+            self.result.pair_records.extend(sink.pair_records)
+            self.result.kill_timings.extend(sink.kill_timings)
+            if self.explain is not None and sink.explain is not None:
+                self.explain.decisions.extend(sink.explain.decisions)
+            self.result.flow.extend(per_read)
+
+    def _analyze_read(
+        self, read: Access, writes: Sequence[Access]
+    ) -> tuple[list[Dependence], "_ReadSink"]:
+        """The complete flow-dependence pipeline for one array read."""
+
+        sink = _ReadSink(ExplainLog() if self.explain is not None else None)
+        tester = KillTester(
             self.symbols,
             self.output_pairs,
             array_bounds=self.program.array_bounds,
         )
-        for read in reads:
-            per_read: list[Dependence] = []
-            for write in writes:
-                if write.array != read.array:
-                    continue
-                per_read.extend(self._analyze_pair(write, read))
-            if self.options.extended and self.options.cover:
-                self._apply_cover_elimination(per_read)
-            if self.options.extended and self.options.terminate:
-                self._apply_terminators(per_read)
-            if self.options.extended and self.options.kill:
-                self._apply_kills(per_read, kill_tester)
-            if self.explain is not None:
-                for dep in per_read:
-                    if dep.status is DependenceStatus.LIVE:
-                        self.explain.record(
-                            _subject(dep),
-                            "kept",
-                            "no covering or killing write eliminates it",
-                        )
-            self.result.flow.extend(per_read)
+        per_read: list[Dependence] = []
+        for write in writes:
+            if write.array != read.array:
+                continue
+            per_read.extend(self._analyze_pair(write, read, sink))
+        if self.options.extended and self.options.cover:
+            self._apply_cover_elimination(per_read, sink)
+        if self.options.extended and self.options.terminate:
+            self._apply_terminators(per_read, sink)
+        if self.options.extended and self.options.kill:
+            self._apply_kills(per_read, tester, sink)
+        if sink.explain is not None:
+            for dep in per_read:
+                if dep.status is DependenceStatus.LIVE:
+                    sink.explain.record(
+                        _subject(dep),
+                        "kept",
+                        "no covering or killing write eliminates it",
+                    )
+        return per_read, sink
 
-    def _analyze_pair(self, write: Access, read: Access) -> list[Dependence]:
+    def _analyze_pair(
+        self, write: Access, read: Access, sink: "_ReadSink"
+    ) -> list[Dependence]:
         """Standard + extended analysis of one array pair, with timing."""
 
         _metrics.inc("analysis.pairs_analyzed")
@@ -302,11 +366,11 @@ class Analyzer:
                         )
                         consulted_omega = consulted_omega or outcome.attempted
                         if (
-                            self.explain is not None
+                            sink.explain is not None
                             and outcome.dependence is not dep
                             and outcome.dependence.refined
                         ):
-                            self._explain_refinement(outcome.dependence)
+                            self._explain_refinement(outcome.dependence, sink)
                         dep = outcome.dependence
                     refined.append(dep)
                 deps = refined
@@ -318,8 +382,8 @@ class Analyzer:
                         dep.covers = covers_destination(
                             dep, use_quick_test=False
                         )
-                        if dep.covers and self.explain is not None:
-                            self.explain.record(
+                        if dep.covers and sink.explain is not None:
+                            sink.explain.record(
                                 _subject(dep),
                                 "covers",
                                 "every element the destination accesses was "
@@ -338,7 +402,7 @@ class Analyzer:
                 category = PairCategory.SPLIT
             else:
                 category = PairCategory.GENERAL
-            self.result.pair_records.append(
+            sink.pair_records.append(
                 PairRecord(
                     write,
                     read,
@@ -350,9 +414,9 @@ class Analyzer:
             )
         return deps
 
-    def _explain_refinement(self, dep: Dependence) -> None:
+    def _explain_refinement(self, dep: Dependence, sink: "_ReadSink") -> None:
         before = ", ".join(str(v) for v in dep.unrefined_directions)
-        self.explain.record(
+        sink.explain.record(
             _subject(dep),
             "refined",
             f"distance narrowed from ({before}) to ({dep.direction_text()}): "
@@ -378,7 +442,9 @@ class Analyzer:
         return False
 
     # ------------------------------------------------------------------
-    def _apply_cover_elimination(self, deps: list[Dependence]) -> None:
+    def _apply_cover_elimination(
+        self, deps: list[Dependence], sink: "_ReadSink"
+    ) -> None:
         """Use covering dependences to rule out writes that completely
         precede the coverer (no kill test needed)."""
 
@@ -391,8 +457,8 @@ class Analyzer:
                     dep.status = DependenceStatus.COVERED
                     dep.eliminated_by = cover
                     _metrics.inc("analysis.deps_covered")
-                    if self.explain is not None:
-                        self.explain.record(
+                    if sink.explain is not None:
+                        sink.explain.record(
                             _subject(dep),
                             "covered",
                             "its source runs entirely before a covering "
@@ -409,7 +475,9 @@ class Analyzer:
             and a.statement.position < b.statement.position
         )
 
-    def _apply_terminators(self, deps: list[Dependence]) -> None:
+    def _apply_terminators(
+        self, deps: list[Dependence], sink: "_ReadSink"
+    ) -> None:
         """Terminating dependences (Section 4.3): a write B that overwrites
         everything A accessed kills any dependence from A to accesses that
         run entirely after B."""
@@ -422,8 +490,8 @@ class Analyzer:
                     dep.status = DependenceStatus.KILLED
                     dep.eliminated_by = terminator
                     _metrics.inc("analysis.deps_killed")
-                    if self.explain is not None:
-                        self.explain.record(
+                    if sink.explain is not None:
+                        sink.explain.record(
                             _subject(dep),
                             "terminated",
                             "a terminating write overwrites everything the "
@@ -433,7 +501,7 @@ class Analyzer:
                     break
 
     def _apply_kills(
-        self, deps: list[Dependence], tester: KillTester
+        self, deps: list[Dependence], tester: KillTester, sink: "_ReadSink"
     ) -> None:
         for victim in deps:
             if victim.status is not DependenceStatus.LIVE:
@@ -446,13 +514,13 @@ class Analyzer:
                 killed = tester.kills(victim, killer)
                 record = tester.records[-1]
                 if self.options.record_timings:
-                    self.result.kill_timings.append(
+                    sink.kill_timings.append(
                         KillTiming(
                             victim.src,
                             killer.src,
                             victim.dst,
                             record.elapsed,
-                            self._pair_time(victim.src, victim.dst),
+                            self._pair_time(sink, victim.src, victim.dst),
                             record.used_omega,
                             killed,
                         )
@@ -461,8 +529,8 @@ class Analyzer:
                     victim.status = DependenceStatus.KILLED
                     victim.eliminated_by = killer
                     _metrics.inc("analysis.deps_killed")
-                    if self.explain is not None:
-                        self.explain.record(
+                    if sink.explain is not None:
+                        sink.explain.record(
                             _subject(victim),
                             "killed",
                             "every element it carries is overwritten by an "
@@ -473,8 +541,9 @@ class Analyzer:
                         )
                     break
 
-    def _pair_time(self, src: Access, dst: Access) -> float:
-        for record in self.result.pair_records:
+    @staticmethod
+    def _pair_time(sink: "_ReadSink", src: Access, dst: Access) -> float:
+        for record in sink.pair_records:
             if record.src is src and record.dst is dst:
                 return record.extended_time
         return 0.0

@@ -20,11 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..ir.ast import Access
-from ..obs import metrics as _metrics
-from ..obs.trace import span as _span
+from ..obs.instrument import metrics as _metrics
+from ..obs.instrument import span as _span
 from ..omega import Problem, Variable
-from ..omega.cache import implies_union, is_satisfiable, project
 from ..omega.errors import OmegaComplexityError
+from ..solver import SolverQuery, implies_union, submit_batch
 from .dependences import Dependence
 from .ordering import execution_order_cases
 from .problem import SymbolTable, build_instance, common_depth
@@ -219,29 +219,41 @@ class KillTester:
         b_side_syms = {occ.value_var for occ in b_ctx.occurrences}
         for occ in b_ctx.occurrences:
             b_side_syms.update(occ.arg_vars)
-        pieces: list[Problem] = []
-        for ab in ab_cases:
-            for bc in bc_cases:
-                rhs_problem = Problem(
-                    list(victim.problem.constraints)
-                    + list(extra_domain.constraints)
-                    + list(coupling.constraints)
-                    + ab
-                    + bc,
-                    name="kill-rhs",
+        cases = [
+            Problem(
+                list(victim.problem.constraints)
+                + list(extra_domain.constraints)
+                + list(coupling.constraints)
+                + ab
+                + bc,
+                name="kill-rhs",
+            )
+            for ab in ab_cases
+            for bc in bc_cases
+        ]
+        feasible = submit_batch([SolverQuery.sat(case) for case in cases])
+        survivors = [
+            case for case, satisfiable in zip(cases, feasible) if satisfiable
+        ]
+        projections = submit_batch(
+            [
+                SolverQuery.project(
+                    case,
+                    [
+                        v
+                        for v in case.variables()
+                        if v in keep_set
+                        or (v.is_symbolic and v not in b_side_syms)
+                    ],
                 )
-                if not is_satisfiable(rhs_problem):
-                    continue
-                rhs_keep = [
-                    v
-                    for v in rhs_problem.variables()
-                    if v in keep_set
-                    or (v.is_symbolic and v not in b_side_syms)
-                ]
-                projection = project(rhs_problem, rhs_keep)
-                if not projection.exact_union:
-                    continue  # drop this case, conservative
-                pieces.extend(projection.pieces)
+                for case in survivors
+            ]
+        )
+        pieces: list[Problem] = []
+        for projection in projections:
+            if not projection.exact_union:
+                continue  # drop this case, conservative
+            pieces.extend(projection.pieces)
 
         if not pieces:
             return False

@@ -23,11 +23,11 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Sequence
 
-from ..obs import metrics as _metrics
-from ..obs.trace import span as _span
+from ..obs.instrument import metrics as _metrics
+from ..obs.instrument import span as _span
 from ..omega import Problem, Variable
-from ..omega.cache import implies_union, is_satisfiable, project
 from ..omega.errors import OmegaComplexityError
+from ..solver import implies_union, is_satisfiable, project
 from .dependences import Dependence
 from .vectors import STAR, DirComponent, DirectionVector, component_bounds, direction_vectors
 

@@ -28,7 +28,7 @@ from typing import Iterable, Sequence
 
 from ..ir.ast import Access
 from ..omega import Constraint, LinearExpr, Problem, Variable
-from ..omega.cache import gist, is_satisfiable, project
+from ..solver import gist, gist_of_projection, is_satisfiable, project
 from .dependences import Dependence, DependenceKind, compute_dependences
 from .problem import PairProblem, SymbolTable, UTermOccurrence, build_pair_problem
 from .vectors import RestraintVector, restraint_vectors
@@ -106,8 +106,6 @@ def dependence_conditions(
     base = pair.full()
     restraints = restraint_vectors(base, pair.delta_vars, pair.forward)
     keep = list(keep_syms) if keep_syms is not None else pair.sym_vars()
-
-    from ..omega.redblack import gist_of_projection
 
     conditions: list[SymbolicCondition] = []
     for restraint in restraints:

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..omega import Constraint, LinearExpr, Problem, Variable, ge, le
-from ..omega.cache import is_satisfiable, project
+from ..solver import is_satisfiable, project, satisfiable_batch
 
 __all__ = [
     "DirComponent",
@@ -224,10 +224,14 @@ def direction_vectors(
         if level == len(deltas):
             combos.append(prefix)
             return
-        for sign in _SIGNS:
-            extra = sign.constraints(deltas[level])
-            trial = Problem(list(problem.constraints) + constraints + extra)
-            if is_satisfiable(trial):
+        extras = [sign.constraints(deltas[level]) for sign in _SIGNS]
+        trials = [
+            Problem(list(problem.constraints) + constraints + extra)
+            for extra in extras
+        ]
+        feasible = satisfiable_batch(trials)
+        for sign, extra, satisfiable in zip(_SIGNS, extras, feasible):
+            if satisfiable:
                 explore(prefix + (sign,), constraints + extra)
 
     explore((), [])

@@ -18,6 +18,12 @@ __all__ = ["Comparison", "Delta", "DEFAULT_THRESHOLD", "compare", "load_artifact
 DEFAULT_THRESHOLD = 0.25
 
 
+def _leg_label(leg: str) -> str:
+    """Human label for a leg: cache legs keep their historical prefix."""
+
+    return f"cache-{leg}" if leg in ("on", "off") else leg
+
+
 def load_artifact(path) -> dict:
     with open(path) as source:
         return json.load(source)
@@ -41,7 +47,7 @@ class Delta:
     def describe(self) -> str:
         change = self.ratio - 1.0
         return (
-            f"{self.suite}/cache-{self.leg}: "
+            f"{self.suite}/{_leg_label(self.leg)}: "
             f"{self.old_median:.4f}s -> {self.new_median:.4f}s "
             f"({change:+.0%})"
         )
@@ -95,7 +101,7 @@ def compare(
         for leg, old_leg in sorted(old_suite.get("legs", {}).items()):
             new_leg = new_suite.get("legs", {}).get(leg)
             if new_leg is None:
-                comparison.missing.append(f"{suite_name}/cache-{leg}")
+                comparison.missing.append(f"{suite_name}/{_leg_label(leg)}")
                 continue
             comparison.deltas.append(
                 Delta(

@@ -41,9 +41,18 @@ __all__ = [
 
 SCHEMA = "repro.bench/1"
 
-#: Cache legs, in run order.  "on" exercises the memoizing solver facade,
-#: "off" the raw solver — the pair keeps the PR 2 speedup regression-gated.
-LEGS = ("on", "off")
+#: Legs, in run order.  "on" exercises the memoizing solver facade, "off"
+#: the raw solver — that pair keeps the cache speedup regression-gated —
+#: and "workers4" the pipelined solver service (4 workers, cache on),
+#: gating the serial-vs-parallel speedup.
+LEGS = ("on", "off", "workers4")
+
+#: Leg name -> (cache, workers) configuration.
+LEG_CONFIG: dict[str, tuple[bool, int]] = {
+    "on": (True, 1),
+    "off": (False, 1),
+    "workers4": (True, 4),
+}
 
 
 def machine_fingerprint() -> dict:
@@ -60,10 +69,10 @@ def machine_fingerprint() -> dict:
 
 @dataclass
 class LegResult:
-    """Trial statistics for one suite in one cache leg."""
+    """Trial statistics for one suite in one leg."""
 
     suite: str
-    cache: str  # "on" | "off"
+    leg: str  # "on" | "off" | "workers4"
     trials: list[float]
 
     @property
@@ -103,11 +112,22 @@ class SuiteResult:
             return 1.0
         return off.median_s / on.median_s
 
+    @property
+    def workers_speedup(self) -> float:
+        """Serial cache-on median over workers4 median (parallel payoff)."""
+
+        on = self.legs.get("on")
+        workers = self.legs.get("workers4")
+        if on is None or workers is None or workers.median_s == 0:
+            return 1.0
+        return on.median_s / workers.median_s
+
     def to_dict(self) -> dict:
         return {
             "description": self.description,
             "legs": {leg: result.to_dict() for leg, result in self.legs.items()},
             "cache_speedup": self.speedup,
+            "workers_speedup": self.workers_speedup,
         }
 
 
@@ -137,14 +157,14 @@ class BenchReport:
 
 
 def _time_leg(
-    suite: Suite, cache: bool, warmup: int, trials: int
+    suite: Suite, cache: bool, workers: int, warmup: int, trials: int
 ) -> list[float]:
     for _ in range(warmup):
-        suite.run(cache)
+        suite.run(cache, workers)
     times = []
     for _ in range(trials):
         started = perf_counter()
-        suite.run(cache)
+        suite.run(cache, workers)
         times.append(perf_counter() - started)
     return times
 
@@ -156,19 +176,20 @@ def run_bench(
     trials: int = 5,
     progress: Callable[[str], None] | None = None,
 ) -> BenchReport:
-    """Run every suite in both cache legs and collect the statistics."""
+    """Run every suite in every leg and collect the statistics."""
 
     suites = list(suites) if suites is not None else default_suites()
     report = BenchReport({}, machine_fingerprint(), warmup, trials)
     for suite in suites:
         result = SuiteResult(suite.name, suite.description)
         for leg in LEGS:
+            cache, workers = LEG_CONFIG[leg]
             if progress is not None:
                 progress(
-                    f"{suite.name}: cache {leg} "
+                    f"{suite.name}: leg {leg} "
                     f"({warmup} warmup + {trials} trials)"
                 )
-            times = _time_leg(suite, leg == "on", warmup, trials)
+            times = _time_leg(suite, cache, workers, warmup, trials)
             result.legs[leg] = LegResult(suite.name, leg, times)
         report.suites[suite.name] = result
     return report
@@ -196,9 +217,9 @@ def render_report(report: BenchReport) -> str:
         f"({report.machine['implementation']}), "
         f"{report.machine['cpus']} cpus",
         "",
-        f"  {'suite':<12} {'cache':<6} {'median':>10} {'iqr':>10}"
+        f"  {'suite':<12} {'leg':<8} {'median':>10} {'iqr':>10}"
         f" {'min':>10} {'max':>10}",
-        "  " + "-" * 62,
+        "  " + "-" * 64,
     ]
     for name, suite in sorted(report.suites.items()):
         for leg in LEGS:
@@ -206,9 +227,13 @@ def render_report(report: BenchReport) -> str:
             if result is None:
                 continue
             lines.append(
-                f"  {name:<12} {leg:<6} {result.median_s:>9.4f}s"
+                f"  {name:<12} {leg:<8} {result.median_s:>9.4f}s"
                 f" {result.iqr_s:>9.4f}s {min(result.trials):>9.4f}s"
                 f" {max(result.trials):>9.4f}s"
             )
         lines.append(f"  {name:<12} cache speedup: {suite.speedup:.2f}x")
+        if "workers4" in suite.legs:
+            lines.append(
+                f"  {name:<12} workers speedup: {suite.workers_speedup:.2f}x"
+            )
     return "\n".join(lines) + "\n"

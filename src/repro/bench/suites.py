@@ -14,11 +14,14 @@ populations of the paper's timing study:
     under the ``50 <= n <= 100`` assertion and Example 8's index-array
     queries.
 
-A suite's ``run(cache)`` callable performs one timed iteration.  The
-``cache`` flag selects the solver-cache leg: analyses run with
-``AnalysisOptions(cache=...)``, the symbolic suite wraps its queries in an
-explicit :func:`repro.omega.caching` scope (or none).  Iterations share no
-state — every program is re-instantiated — so trials are independent.
+A suite's ``run(cache, workers)`` callable performs one timed iteration.
+The ``cache`` flag selects the solver-cache leg; ``workers`` selects the
+solver-service worker count (the parallel leg).  With ``workers > 1`` the
+corpus runs under one explicit :class:`repro.solver.SolverService` scope,
+so the service's dedup memo is shared across the corpus programs within
+the iteration — the state the parallel leg is designed to exploit.  State
+never leaks *between* iterations (the service, like the symbolic suite's
+cache scope, is rebuilt per call), so trials stay independent and cold.
 """
 
 from __future__ import annotations
@@ -31,29 +34,42 @@ from ..analysis import AnalysisOptions, DependenceKind, analyze
 from ..analysis.symbolic import dependence_conditions, generate_query
 from ..omega import SolverCache, Variable, caching, le
 from ..programs import cholsky, example7, example8, timing_corpus
+from ..solver import SolverService
 
 __all__ = ["SUITES", "Suite", "default_suites"]
 
 
 @dataclass(frozen=True)
 class Suite:
-    """One benchmarkable workload; ``run(cache)`` is a single iteration."""
+    """One benchmarkable workload; ``run(cache, workers)`` is a single
+    iteration."""
 
     name: str
     description: str
-    run: Callable[[bool], None]
+    run: Callable[..., None]
 
 
-def _run_corpus(cache: bool) -> None:
+def _run_corpus(cache: bool, workers: int = 1) -> None:
+    if workers > 1:
+        service = SolverService(workers=workers, cache=cache)
+        try:
+            with service.activate():
+                for program in timing_corpus():
+                    analyze(
+                        program, AnalysisOptions(cache=cache, workers=workers)
+                    )
+        finally:
+            service.close()
+        return
     for program in timing_corpus():
-        analyze(program, AnalysisOptions(cache=cache))
+        analyze(program, AnalysisOptions(cache=cache, workers=workers))
 
 
-def _run_cholsky(cache: bool) -> None:
-    analyze(cholsky(), AnalysisOptions(cache=cache))
+def _run_cholsky(cache: bool, workers: int = 1) -> None:
+    analyze(cholsky(), AnalysisOptions(cache=cache, workers=workers))
 
 
-def _run_symbolic(cache: bool) -> None:
+def _run_symbolic(cache: bool, workers: int = 1) -> None:
     scope = caching(SolverCache()) if cache else nullcontext()
     with scope:
         program = example7()

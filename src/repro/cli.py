@@ -11,7 +11,8 @@ Commands
     prints the per-dependence decision trail, ``--stats`` the metrics
     summary (plus solver-cache counters), ``--trace-out t.json`` /
     ``--metrics-out m.json`` write the Chrome-trace and metrics snapshots,
-    and ``--no-cache`` disables the solver result cache.
+    ``--no-cache`` disables the solver result cache, and ``--workers N``
+    runs the solver service with N worker threads (identical results).
 
 ``trace FILE``
     Run the extended analysis under the span tracer and write a
@@ -118,6 +119,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the solver result cache (results are identical, slower)",
+    )
+    analyze_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "solver service worker threads (default: REPRO_WORKERS or 1; "
+            "results are identical at any setting)"
+        ),
     )
     analyze_cmd.add_argument(
         "--trace-out",
@@ -247,6 +258,8 @@ def _cmd_analyze(args) -> int:
     )
     if args.no_cache:
         options.cache = False
+    if args.workers is not None:
+        options.workers = args.workers
     tracer = Tracer() if args.trace_out else None
     registry = MetricsRegistry() if (args.stats or args.metrics_out) else None
     with ExitStack() as stack:

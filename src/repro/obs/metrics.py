@@ -73,6 +73,16 @@ CATALOG: tuple[str, ...] = (
     "omega.cache.hits",
     "omega.cache.misses",
     "omega.cache.evictions",
+    # Solver service boundary (repro.solver).
+    "solver.queries",
+    "solver.batches",
+    "solver.batch.queries",
+    "solver.batch.dedup_hits",
+    "solver.batch.inflight_hits",
+    "solver.memo.hits",
+    "solver.memo.misses",
+    "solver.memo.evictions",
+    "solver.tasks",
     # Analysis pipeline.
     "analysis.pairs_analyzed",
     "analysis.dependences_found",
@@ -207,13 +217,18 @@ class MetricsRegistry:
         self.counters: dict[str, int] = dict.fromkeys(catalog, 0)
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
+        # A registry propagated to solver worker threads receives records
+        # from several threads at once; the lock keeps updates atomic.
+        self._lock = threading.Lock()
 
     # -- recording ------------------------------------------------------
     def inc(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def set_gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def observe(
         self,
@@ -221,10 +236,11 @@ class MetricsRegistry:
         value: float,
         boundaries: Iterable[float] = DEFAULT_BUCKETS,
     ) -> None:
-        histogram = self.histograms.get(name)
-        if histogram is None:
-            histogram = self.histograms[name] = Histogram(boundaries)
-        histogram.observe(value)
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram(boundaries)
+            histogram.observe(value)
 
     # -- reading --------------------------------------------------------
     def counter(self, name: str) -> int:

@@ -110,12 +110,13 @@ def unwrap(entry):
 class SolverCache:
     """A bounded LRU result cache for Omega solver queries.
 
-    Not thread-safe by itself: activation is per-thread (see
-    :func:`caching`), mirroring the metrics/tracing scoping, so a cache is
-    only ever driven from the thread that installed it.
+    Activation is per-thread (see :func:`caching`), mirroring the
+    metrics/tracing scoping, but the solver service may propagate one
+    activation to its worker threads, so the LRU bookkeeping itself is
+    lock-protected.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries")
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries", "_lock")
 
     def __init__(self, maxsize: int | None = None):
         self.maxsize = maxsize if maxsize is not None else default_cache_size()
@@ -125,26 +126,34 @@ class SolverCache:
         self.misses = 0
         self.evictions = 0
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key):
         """The cached entry for ``key``, or :data:`MISSING`."""
 
-        entry = self._entries.get(key, MISSING)
+        with self._lock:
+            entry = self._entries.get(key, MISSING)
+            if entry is MISSING:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
         if entry is MISSING:
-            self.misses += 1
             _metrics.inc("omega.cache.misses")
             return MISSING
-        self._entries.move_to_end(key)
-        self.hits += 1
         _metrics.inc("omega.cache.hits")
         return entry
 
     def put(self, key, value) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        for _ in range(evicted):
             _metrics.inc("omega.cache.evictions")
 
     def __len__(self) -> int:

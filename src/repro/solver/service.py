@@ -1,0 +1,525 @@
+"""The SolverService: the single path from analysis code to the Omega core.
+
+Every Omega query the analysis layers issue — satisfiability, projection,
+gist, implication — goes through one :class:`SolverService`.  The service
+is the seam the ROADMAP's scaling work needs: it sees *all* queries, so it
+can deduplicate them, batch them, cache them and (on multi-core hosts)
+overlap independent batches on a ``concurrent.futures`` thread pool.
+
+Two operating modes, selected by ``workers``:
+
+``workers == 1`` (serial, the default)
+    The service is a pass-through to the existing memoizing facade
+    (:mod:`repro.omega.cache`): queries execute inline, in submission
+    order, against the canonical-form LRU the service owns and activates.
+    Behavior — results, cache hits, spans — is bit-identical to calling
+    the omega facade directly, which keeps today's tests and artifacts
+    valid byte for byte.
+
+``workers > 1`` (pipelined)
+    The service swaps the canonical-form LRU for its own **identity memo**
+    — a bounded LRU keyed on :meth:`SolverQuery.key` identity tuples with
+    single-flight de-duplication — and executes misses against the raw
+    solver.  The identity key costs a tuple build instead of a full
+    canonicalization, which is the dominant win on repetitive dependence
+    workloads: the analysis re-issues the same problem objects (direction
+    probes, kill cases, refinement contexts) many times, and a hit skips
+    canonicalize + solve entirely while a miss no longer pays the
+    canonicalization toll at all.  Distinct queries in a batch run
+    concurrently on the worker pool; batches submitted *from* a worker
+    thread execute inline (no pool-starvation deadlocks).  On a
+    single-core host the pool itself is skipped (``threads`` auto-gates
+    on ``os.cpu_count()``): context switches cannot overlap compute
+    there, so the memo runs inline and parallelism degrades gracefully
+    to its cheap component.  Results are identical to serial mode
+    because every primitive is pure and the memo replays complexity
+    failures (:class:`repro.omega.cache.Raised`) exactly like the
+    canonical cache does.
+
+Observability context (tracers, metrics registries, the active cache and
+service stacks) is captured per task via :func:`repro.obs.instrument` so
+spans and counters recorded on workers land in the caller's collectors.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..obs import instrument as _instr
+from ..obs.instrument import metrics as _metrics
+from ..obs.instrument import span as _span
+from ..omega import cache as _ocache
+from ..omega.cache import MISSING, Raised, SolverCache, unwrap
+from ..omega.constraints import Problem
+from ..omega.errors import OmegaComplexityError
+from .queries import SolverQuery
+
+__all__ = [
+    "DEFAULT_MEMO_SIZE",
+    "SolverService",
+    "current_service",
+    "default_workers",
+]
+
+#: Identity-memo capacity (pipelined mode).  Sized so a full corpus pass
+#: (~10k distinct queries) fits without evictions.
+DEFAULT_MEMO_SIZE = 65536
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (default 1: serial)."""
+
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if raw.isdigit() and int(raw) > 0:
+        return int(raw)
+    return 1
+
+
+class _ActiveServices(threading.local):
+    def __init__(self) -> None:
+        self.stack: list["SolverService"] = []
+
+
+_active = _ActiveServices()
+
+
+def current_service() -> "SolverService | None":
+    """The innermost active service on this thread, or None."""
+
+    stack = _active.stack
+    return stack[-1] if stack else None
+
+
+class _WorkerState(threading.local):
+    """True while executing a service task, so nested fan-out stays inline
+    (a worker waiting on its own pool would deadlock it)."""
+
+    def __init__(self) -> None:
+        self.inside = False
+
+
+_worker = _WorkerState()
+
+
+def _propagated_stacks() -> Callable[[], object]:
+    """Context provider: carry the cache + service stacks to workers."""
+
+    cache_stack = list(_ocache._active.stack)
+    service_stack = list(_active.stack)
+
+    @contextmanager
+    def install() -> Iterator[None]:
+        saved_cache = _ocache._active.stack
+        saved_service = _active.stack
+        _ocache._active.stack = cache_stack
+        _active.stack = service_stack
+        try:
+            yield
+        finally:
+            _ocache._active.stack = saved_cache
+            _active.stack = saved_service
+
+    return install
+
+
+_instr.register_context(_propagated_stacks)
+
+
+class SolverService:
+    """Batching, deduplicating, optionally parallel Omega query broker."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        cache: bool = True,
+        cache_size: int | None = None,
+        memo_size: int = DEFAULT_MEMO_SIZE,
+        shared_cache: SolverCache | None = None,
+        threads: bool | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if memo_size < 1:
+            raise ValueError("memo_size must be >= 1")
+        self.workers = workers
+        self.pipelined = workers > 1
+        # Whether fan-out actually uses the thread pool.  None = auto:
+        # only when the host has a second core (threads on a single core
+        # add switch overhead without overlapping any compute).
+        if threads is None:
+            threads = (os.cpu_count() or 1) > 1
+        self.threaded = self.pipelined and threads
+        self.memo_size = memo_size
+        #: The canonical-form LRU (serial mode with caching only); the
+        #: service activates it so the omega entry points see it.
+        self.cache: SolverCache | None = None
+        self._memo: OrderedDict | None = None
+        if cache:
+            if self.pipelined:
+                self._memo = OrderedDict()
+            else:
+                self.cache = (
+                    shared_cache
+                    if shared_cache is not None
+                    else SolverCache(cache_size)
+                )
+        self._lock = threading.Lock()
+        self._inflight: dict = {}
+        self._executor: ThreadPoolExecutor | None = None
+        # Counters (approximate under concurrency; exact when serial).
+        self.queries = 0
+        self.batches = 0
+        self.batch_dedup = 0
+        self.tasks = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.inflight_waits = 0
+
+    # -- construction / lifecycle --------------------------------------
+    @classmethod
+    def for_options(
+        cls,
+        *,
+        cache: bool = True,
+        cache_size: int | None = None,
+        workers: int = 1,
+    ) -> "SolverService":
+        """Build a service for analysis options.
+
+        Serial caching services adopt an enclosing ``caching(...)`` scope's
+        cache when one is active on this thread, preserving the engine's
+        historical cache-sharing behavior across programs.
+        """
+
+        shared = _ocache.current_cache() if (cache and workers <= 1) else None
+        return cls(
+            workers=workers,
+            cache=cache,
+            cache_size=cache_size,
+            shared_cache=shared,
+        )
+
+    @contextmanager
+    def activate(self) -> Iterator["SolverService"]:
+        """Make this service (and its cache layer) current on this thread."""
+
+        _active.stack.append(self)
+        try:
+            if self.cache is not None:
+                with _ocache.caching(self.cache):
+                    yield self
+            else:
+                yield self
+        finally:
+            _active.stack.pop()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; memo survives close)."""
+
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-solver"
+            )
+        return self._executor
+
+    def _spawn(self, fn: Callable, *args):
+        """Submit ``fn(*args)`` to the pool under the caller's context."""
+
+        enter = _instr.capture()
+
+        def call():
+            was_inside = _worker.inside
+            _worker.inside = True
+            try:
+                with enter():
+                    return fn(*args)
+            finally:
+                _worker.inside = was_inside
+
+        return self._ensure_executor().submit(call)
+
+    # -- the identity memo (pipelined mode) ----------------------------
+    def _memoized(self, key, fn: Callable, *args):
+        """Single-flight memoization; replays complexity failures."""
+
+        from concurrent.futures import Future
+
+        with self._lock:
+            memo = self._memo
+            entry = memo.get(key, MISSING)
+            if entry is not MISSING:
+                memo.move_to_end(key)
+                self.hits += 1
+                _metrics.inc("solver.memo.hits")
+                return unwrap(entry)
+            pending = self._inflight.get(key)
+            if pending is None:
+                self._inflight[key] = pending = Future()
+                owner = True
+                self.misses += 1
+                _metrics.inc("solver.memo.misses")
+            else:
+                owner = False
+        if not owner:
+            self.inflight_waits += 1
+            _metrics.inc("solver.batch.inflight_hits")
+            return unwrap(pending.result())
+        try:
+            value = fn(*args)
+            stored = value
+        except OmegaComplexityError as failure:
+            stored = Raised(str(failure))
+        with self._lock:
+            memo = self._memo
+            memo[key] = stored
+            while len(memo) > self.memo_size:
+                memo.popitem(last=False)
+                self.evictions += 1
+                _metrics.inc("solver.memo.evictions")
+            self._inflight.pop(key, None)
+        pending.set_result(stored)
+        return unwrap(stored)
+
+    def _evaluate(self, key, fn: Callable, *args):
+        """One query: memoized when pipelined caching is on, else direct."""
+
+        if self._memo is None:
+            return fn(*args)
+        return self._memoized(key, fn, *args)
+
+    def _protected(self, key, fn: Callable, args: tuple):
+        """Batch cell: a value, or a :class:`Raised` complexity failure."""
+
+        try:
+            return self._evaluate(key, fn, *args)
+        except OmegaComplexityError as failure:
+            return Raised(str(failure))
+
+    # -- scalar primitives ----------------------------------------------
+    def sat(self, problem: Problem) -> bool:
+        self.queries += 1
+        _metrics.inc("solver.queries")
+        return self._evaluate(
+            ("sat", tuple(problem.constraints)),
+            _ocache.is_satisfiable,
+            problem,
+        )
+
+    def project(self, problem: Problem, keep):
+        self.queries += 1
+        _metrics.inc("solver.queries")
+        return self._evaluate(
+            ("project", tuple(problem.constraints), frozenset(keep)),
+            _ocache.project,
+            problem,
+            keep,
+        )
+
+    def gist(self, problem: Problem, given: Problem, **options):
+        self.queries += 1
+        _metrics.inc("solver.queries")
+        return self._evaluate(
+            (
+                "gist",
+                tuple(problem.constraints),
+                tuple(given.constraints),
+                tuple(sorted(options.items())),
+            ),
+            lambda: _ocache.gist(problem, given, **options),
+        )
+
+    def implies(self, problem: Problem, given: Problem) -> bool:
+        self.queries += 1
+        _metrics.inc("solver.queries")
+        return self._evaluate(
+            (
+                "implies",
+                tuple(problem.constraints),
+                tuple(given.constraints),
+            ),
+            _ocache.implies,
+            problem,
+            given,
+        )
+
+    def implies_union(
+        self, problem: Problem, pieces: Sequence[Problem], **options
+    ) -> bool:
+        self.queries += 1
+        _metrics.inc("solver.queries")
+        return self._evaluate(
+            (
+                "implies-union",
+                tuple(problem.constraints),
+                tuple(tuple(piece.constraints) for piece in pieces),
+                tuple(sorted(options.items())),
+            ),
+            lambda: _ocache.implies_union(problem, list(pieces), **options),
+        )
+
+    def run(self, query: SolverQuery):
+        """Execute one declarative query."""
+
+        self.queries += 1
+        _metrics.inc("solver.queries")
+        with _span("solver.query", kind=query.kind.value):
+            return self._evaluate(query.key(), query.execute)
+
+    # -- batches ---------------------------------------------------------
+    def _run_batch(self, keyed: list) -> list:
+        """Execute ``(key, fn, args)`` cells: dedup, fan out, reassemble.
+
+        Duplicate keys compute once.  Distinct cells run on the worker
+        pool in pipelined mode (inline from worker threads); results come
+        back in submission order, and the first complexity failure (in
+        submission order) is re-raised exactly as serial execution would.
+        """
+
+        self.batches += 1
+        _metrics.inc("solver.batches")
+        _metrics.inc("solver.batch.queries", len(keyed))
+        order: list = []
+        index_of: dict = {}
+        for key, fn, args in keyed:
+            if key not in index_of:
+                index_of[key] = len(order)
+                order.append((key, fn, args))
+        duplicates = len(keyed) - len(order)
+        if duplicates:
+            self.batch_dedup += duplicates
+            _metrics.inc("solver.batch.dedup_hits", duplicates)
+        with _span("solver.batch", size=len(keyed), distinct=len(order)):
+            if not self.threaded or _worker.inside or len(order) <= 1:
+                computed = [
+                    self._protected(key, fn, args) for key, fn, args in order
+                ]
+            else:
+                futures = [
+                    self._spawn(self._protected, key, fn, args)
+                    for key, fn, args in order
+                ]
+                computed = [future.result() for future in futures]
+        results: list = []
+        failure: Raised | None = None
+        for key, _fn, _args in keyed:
+            entry = computed[index_of[key]]
+            if isinstance(entry, Raised) and failure is None:
+                failure = entry
+            results.append(entry)
+        if failure is not None:
+            raise OmegaComplexityError(failure.message)
+        return results
+
+    def submit_batch(self, queries: Sequence[SolverQuery]) -> list:
+        """Execute declarative queries; results in submission order."""
+
+        queries = list(queries)
+        if not queries:
+            return []
+        self.queries += len(queries)
+        _metrics.inc("solver.queries", len(queries))
+        return self._run_batch(
+            [(query.key(), query.execute, ()) for query in queries]
+        )
+
+    def sat_batch(self, problems: Sequence[Problem]) -> list[bool]:
+        """Batched satisfiability; one bool per problem, in order."""
+
+        problems = list(problems)
+        if not problems:
+            return []
+        self.queries += len(problems)
+        _metrics.inc("solver.queries", len(problems))
+        return self._run_batch(
+            [
+                (
+                    ("sat", tuple(problem.constraints)),
+                    _ocache.is_satisfiable,
+                    (problem,),
+                )
+                for problem in problems
+            ]
+        )
+
+    # -- task fan-out -----------------------------------------------------
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item; results in item order.
+
+        Pipelined services run items concurrently on the worker pool (the
+        engine uses this for independent per-read dependence tasks whose
+        solver batches then overlap).  Serial and single-core services —
+        and calls made from inside a worker task — run inline, preserving
+        exact serial execution order.  The first exception, in item order, is re-raised
+        after every task has settled.
+        """
+
+        items = list(items)
+        self.tasks += len(items)
+        _metrics.inc("solver.tasks", len(items))
+        if not self.threaded or _worker.inside or len(items) <= 1:
+            return [fn(item) for item in items]
+        futures = [self._spawn(fn, item) for item in items]
+        results: list = []
+        failure: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if failure is None:
+                    failure = error
+                results.append(None)
+        if failure is not None:
+            raise failure
+        return results
+
+    # -- introspection ----------------------------------------------------
+    def memo_stats(self) -> dict | None:
+        """Identity-memo counters (pipelined caching mode only)."""
+
+        if self._memo is None:
+            return None
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._memo),
+            "maxsize": self.memo_size,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def cache_stats(self) -> dict | None:
+        """The active cache layer's counters: the canonical LRU in serial
+        mode, the identity memo in pipelined mode, None when uncached."""
+
+        if self.cache is not None:
+            return self.cache.stats()
+        return self.memo_stats()
+
+    def stats(self) -> dict:
+        """A snapshot of the service counters (for ``--stats`` etc.)."""
+
+        return {
+            "workers": self.workers,
+            "pipelined": self.pipelined,
+            "threaded": self.threaded,
+            "queries": self.queries,
+            "batches": self.batches,
+            "batch_dedup": self.batch_dedup,
+            "inflight_waits": self.inflight_waits,
+            "tasks": self.tasks,
+            "cache": self.cache_stats(),
+        }

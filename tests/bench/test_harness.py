@@ -19,32 +19,35 @@ from repro.bench import (
 
 
 def _micro_suite(log=None):
-    def run(cache):
+    def run(cache, workers=1):
         total = sum(range(200 if cache else 400))
         if log is not None:
-            log.append((cache, total))
+            log.append((cache, workers, total))
 
     return Suite("micro", "synthetic micro workload", run)
 
 
 class TestRunner:
-    def test_runs_warmup_and_trials_in_both_legs(self):
+    def test_runs_warmup_and_trials_in_every_leg(self):
         log = []
         run_bench([_micro_suite(log)], warmup=2, trials=3)
-        # cache-on leg first: 2 warmup + 3 timed, then the same cache-off.
-        flags = [cache for cache, _ in log]
-        assert flags == [True] * 5 + [False] * 5
+        # Leg order: cache-on, cache-off, workers4 — 2 warmup + 3 timed each.
+        configs = [(cache, workers) for cache, workers, _ in log]
+        assert configs == (
+            [(True, 1)] * 5 + [(False, 1)] * 5 + [(True, 4)] * 5
+        )
 
     def test_report_statistics(self):
         report = run_bench([_micro_suite()], warmup=0, trials=5)
         result = report.suites["micro"]
-        for leg in ("on", "off"):
+        for leg in ("on", "off", "workers4"):
             stats = result.legs[leg]
             assert len(stats.trials) == 5
             assert stats.median_s > 0
             assert min(stats.trials) <= stats.median_s <= max(stats.trials)
             assert stats.iqr_s >= 0
         assert result.speedup > 0
+        assert result.workers_speedup > 0
 
     def test_median_is_the_statistical_median(self):
         report = run_bench([_micro_suite()], warmup=0, trials=3)
@@ -63,11 +66,12 @@ class TestArtifact:
         for key in ("platform", "python", "implementation", "cpus"):
             assert key in payload["machine"]
         legs = payload["suites"]["micro"]["legs"]
-        assert set(legs) == {"on", "off"}
+        assert set(legs) == {"on", "off", "workers4"}
         for leg in legs.values():
             assert {"median_s", "iqr_s", "min_s", "max_s", "trials_s"} <= set(leg)
             assert len(leg["trials_s"]) == 2
         assert payload["suites"]["micro"]["cache_speedup"] > 0
+        assert payload["suites"]["micro"]["workers_speedup"] > 0
 
     def test_fingerprint_is_stable_within_a_process(self):
         assert machine_fingerprint() == machine_fingerprint()
@@ -77,6 +81,7 @@ class TestArtifact:
         table = render_report(report)
         assert "micro" in table
         assert "cache speedup" in table
+        assert "workers speedup" in table
         assert "median" in table and "iqr" in table
 
 

@@ -248,7 +248,11 @@ class TestBenchCommand:
         assert code == 0
         payload = json.loads(out.read_text())
         assert payload["schema"] == "repro.bench/1"
-        assert set(payload["suites"]["symbolic"]["legs"]) == {"on", "off"}
+        assert set(payload["suites"]["symbolic"]["legs"]) == {
+            "on",
+            "off",
+            "workers4",
+        }
         assert (results / "bench_omega.txt").exists()
         assert "cache speedup" in capsys.readouterr().out
 
