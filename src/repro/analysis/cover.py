@@ -20,7 +20,7 @@ from __future__ import annotations
 from ..obs.instrument import metrics as _metrics
 from ..obs.instrument import span as _span
 from ..omega import Problem, Variable
-from ..omega.errors import OmegaComplexityError
+from ..omega.errors import BudgetExhausted, OmegaComplexityError
 from ..solver import implies, implies_union, is_satisfiable, project
 from .dependences import Dependence
 
@@ -53,6 +53,10 @@ def _check_universal_coverage(
         return False
     try:
         return implies_union(lhs, projection.pieces)
+    except BudgetExhausted:
+        # Only reachable under the strict ("raise") policy — the solver
+        # service degrades this to False itself otherwise.
+        raise
     except OmegaComplexityError:
         # Sound fallback: test against the dark shadow only.
         return implies(lhs, projection.dark)

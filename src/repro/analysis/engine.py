@@ -24,9 +24,12 @@ refined, covered, killed or kept.
 from __future__ import annotations
 
 from contextlib import ExitStack
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _replace
 from typing import Iterable, Sequence
 
+from ..guard import Budget, DegradationLog
+from ..guard import budget as _guard
+from ..guard import faults as _faults
 from ..ir.ast import Access, Program
 from ..obs.explain import ExplainLog
 from ..obs.instrument import Tracer
@@ -121,6 +124,30 @@ class AnalysisOptions:
     #: building one (advanced: lets callers share a service — and its memo
     #: — across many ``analyze`` calls).
     solver: "SolverService | None" = None
+    #: Wall-clock deadline for the whole analysis, in milliseconds (the
+    #: CLI's ``--deadline-ms``).  Implies a governed run: when the
+    #: deadline passes, remaining Omega queries degrade to their sound
+    #: conservative answers (see ``policy``) instead of running on.
+    deadline_ms: float | None = None
+    #: Full resource budget (``repro.guard.Budget``) for governed runs;
+    #: ``deadline_ms`` is merged in when both are given.
+    budget: "Budget | None" = None
+    #: What to do when the budget runs out: ``"degrade"`` substitutes
+    #: sound conservative answers and records every substitution in
+    #: ``result.degradations``; ``"raise"`` (the CLI's ``--strict``)
+    #: propagates :class:`repro.omega.BudgetExhausted` to the caller.
+    policy: str = "degrade"
+
+    def effective_budget(self) -> "Budget | None":
+        """The merged budget, or None when this run is ungoverned."""
+
+        budget = self.budget
+        if self.deadline_ms is not None:
+            if budget is None:
+                budget = Budget(deadline_ms=self.deadline_ms)
+            elif budget.deadline_ms is None:
+                budget = _replace(budget, deadline_ms=self.deadline_ms)
+        return budget
 
 
 def analyze(program: Program, options: AnalysisOptions | None = None) -> AnalysisResult:
@@ -179,6 +206,21 @@ class Analyzer:
                 stack.callback(service.close)
             self.service = service
             stack.enter_context(service.activate())
+            # Governed runs: an explicit budget/deadline, or an active
+            # fault-injection plan (chaos runs need the degradation
+            # machinery armed even without resource limits).  Default
+            # runs skip the scope entirely and stay bit-identical.
+            budget = self.options.effective_budget()
+            if budget is None and _faults.current_plan() is not None:
+                budget = Budget.unlimited()
+            if budget is not None:
+                log = DegradationLog()
+                self.result.degradations = log
+                stack.enter_context(
+                    _guard.governed(
+                        budget, policy=self.options.policy, log=log
+                    )
+                )
             with _span("analysis.analyze", program=self.program.name) as sp:
                 self._run_phases()
             if sp.duration:
@@ -210,14 +252,15 @@ class Analyzer:
             for dst in writes:
                 if src.array != dst.array:
                     continue
-                deps = compute_dependences(
-                    src,
-                    dst,
-                    DependenceKind.OUTPUT,
-                    self.symbols,
-                    assertions=self.options.assertions,
-                    array_bounds=self.program.array_bounds,
-                )
+                with _guard.subject(f"output: {src} -> {dst}"):
+                    deps = compute_dependences(
+                        src,
+                        dst,
+                        DependenceKind.OUTPUT,
+                        self.symbols,
+                        assertions=self.options.assertions,
+                        array_bounds=self.program.array_bounds,
+                    )
                 if deps:
                     self.output_pairs.add((src, dst))
                 for dep in deps:
@@ -252,14 +295,15 @@ class Analyzer:
             for dst in writes:
                 if src.array != dst.array:
                     continue
-                deps = compute_dependences(
-                    src,
-                    dst,
-                    DependenceKind.ANTI,
-                    self.symbols,
-                    assertions=self.options.assertions,
-                    array_bounds=self.program.array_bounds,
-                )
+                with _guard.subject(f"anti: {src} -> {dst}"):
+                    deps = compute_dependences(
+                        src,
+                        dst,
+                        DependenceKind.ANTI,
+                        self.symbols,
+                        assertions=self.options.assertions,
+                        array_bounds=self.program.array_bounds,
+                    )
                 for dep in deps:
                     if self.options.extended and self.options.extend_all_kinds:
                         dep = refine_dependence(
@@ -345,7 +389,10 @@ class Analyzer:
         """Standard + extended analysis of one array pair, with timing."""
 
         _metrics.inc("analysis.pairs_analyzed")
-        with _span("analysis.pair", src=write, dst=read) as pair_span:
+        # Any degradation inside this pair is attributed to it by name.
+        with _guard.subject(f"flow: {write} -> {read}"), _span(
+            "analysis.pair", src=write, dst=read
+        ) as pair_span:
             with _span("analysis.pair.standard") as standard_span:
                 deps = compute_dependences(
                     write,
@@ -511,7 +558,10 @@ class Analyzer:
                     continue
                 if killer.status is not DependenceStatus.LIVE:
                     continue
-                killed = tester.kills(victim, killer)
+                with _guard.subject(
+                    f"kill: {_subject(victim)} by {killer.src}"
+                ):
+                    killed = tester.kills(victim, killer)
                 record = tester.records[-1]
                 if self.options.record_timings:
                     sink.kill_timings.append(

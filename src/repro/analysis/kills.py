@@ -23,7 +23,7 @@ from ..ir.ast import Access
 from ..obs.instrument import metrics as _metrics
 from ..obs.instrument import span as _span
 from ..omega import Problem, Variable
-from ..omega.errors import OmegaComplexityError
+from ..omega.errors import BudgetExhausted, OmegaComplexityError
 from ..solver import SolverQuery, implies_union, submit_batch
 from .dependences import Dependence
 from .ordering import execution_order_cases
@@ -259,5 +259,9 @@ class KillTester:
             return False
         try:
             return implies_union(victim.problem, pieces)
+        except BudgetExhausted:
+            # Only reachable under the strict ("raise") policy — the
+            # solver service degrades this to False itself otherwise.
+            raise
         except OmegaComplexityError:
             return False

@@ -26,7 +26,7 @@ from typing import Sequence
 from ..obs.instrument import metrics as _metrics
 from ..obs.instrument import span as _span
 from ..omega import Problem, Variable
-from ..omega.errors import OmegaComplexityError
+from ..omega.errors import BudgetExhausted, OmegaComplexityError
 from ..solver import implies_union, is_satisfiable, project
 from .dependences import Dependence
 from .vectors import STAR, DirComponent, DirectionVector, component_bounds, direction_vectors
@@ -58,6 +58,10 @@ def _implication_holds(
         return not lhs_pieces
     try:
         return all(implies_union(piece, rhs_pieces) for piece in lhs_pieces)
+    except BudgetExhausted:
+        # Only reachable under the strict ("raise") policy — the solver
+        # service degrades this to False itself otherwise.
+        raise
     except OmegaComplexityError:
         return False  # conservative: do not refine
 

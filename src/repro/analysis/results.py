@@ -6,6 +6,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..guard import DegradationLog
 from ..ir.ast import Access, Program
 from ..obs.explain import ExplainLog
 from ..obs.trace import Tracer
@@ -76,6 +77,25 @@ class AnalysisResult:
     #: Snapshot of the solver cache counters for this analysis (None when
     #: the cache was disabled).  See :class:`repro.omega.SolverCache`.
     cache_stats: dict | None = None
+    #: Every conservative substitution made under a resource budget
+    #: (``AnalysisOptions(deadline_ms=..., budget=...)``), with per-query
+    #: provenance; None when the run was ungoverned.  A non-empty log
+    #: means the reported dependences are a sound *superset* of the exact
+    #: answer.
+    degradations: DegradationLog | None = None
+
+    # ------------------------------------------------------------------
+    def degraded(self) -> bool:
+        """Did any query degrade to its conservative answer?"""
+
+        return self.degradations is not None and len(self.degradations) > 0
+
+    def degraded_subjects(self) -> set[str | None]:
+        """The dependences (subject tags) affected by degradation."""
+
+        if self.degradations is None:
+            return set()
+        return self.degradations.subjects()
 
     # ------------------------------------------------------------------
     def live_flow(self) -> list[Dependence]:

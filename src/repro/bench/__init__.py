@@ -28,10 +28,12 @@ from .compare import (
     load_artifact,
 )
 from .harness import (
+    GUARD_OVERHEAD_THRESHOLD,
     SCHEMA,
     BenchReport,
     LegResult,
     SuiteResult,
+    guard_overhead_gate,
     machine_fingerprint,
     profile_suites,
     render_report,
@@ -40,6 +42,7 @@ from .harness import (
 from .suites import SUITES, Suite, default_suites
 
 __all__ = [
+    "GUARD_OVERHEAD_THRESHOLD",
     "SCHEMA",
     "DEFAULT_THRESHOLD",
     "BenchReport",
@@ -51,6 +54,7 @@ __all__ = [
     "SUITES",
     "compare",
     "default_suites",
+    "guard_overhead_gate",
     "load_artifact",
     "machine_fingerprint",
     "profile_suites",

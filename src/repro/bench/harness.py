@@ -25,14 +25,19 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Sequence
 
+from contextlib import nullcontext
+
+from ..guard import budget as _guard
 from ..obs import Profile, Tracer, tracing
 from .suites import Suite, default_suites
 
 __all__ = [
+    "GUARD_OVERHEAD_THRESHOLD",
     "SCHEMA",
     "BenchReport",
     "LegResult",
     "SuiteResult",
+    "guard_overhead_gate",
     "machine_fingerprint",
     "profile_suites",
     "render_report",
@@ -43,16 +48,28 @@ SCHEMA = "repro.bench/1"
 
 #: Legs, in run order.  "on" exercises the memoizing solver facade, "off"
 #: the raw solver — that pair keeps the cache speedup regression-gated —
-#: and "workers4" the pipelined solver service (4 workers, cache on),
-#: gating the serial-vs-parallel speedup.
-LEGS = ("on", "off", "workers4")
+#: "workers4" the pipelined solver service (4 workers, cache on), gating
+#: the serial-vs-parallel speedup, and "guard" the serial cached
+#: configuration under a governed (but unlimited) resource budget, gating
+#: the cost of the checkpoint machinery itself.
+LEGS = ("on", "off", "workers4", "guard")
 
 #: Leg name -> (cache, workers) configuration.
 LEG_CONFIG: dict[str, tuple[bool, int]] = {
     "on": (True, 1),
     "off": (False, 1),
     "workers4": (True, 4),
+    "guard": (True, 1),
 }
+
+#: Legs that run inside ``repro.guard.governed(Budget.unlimited())``: the
+#: checkpoints all fire (deadline checks, meter updates) but can never
+#: exhaust, isolating pure governance overhead against the "on" leg.
+GOVERNED_LEGS = frozenset({"guard"})
+
+#: The guard leg may cost at most this much over the "on" leg (median
+#: ratio - 1) before :func:`guard_overhead_gate` fails.
+GUARD_OVERHEAD_THRESHOLD = 0.05
 
 
 def machine_fingerprint() -> dict:
@@ -122,12 +139,23 @@ class SuiteResult:
             return 1.0
         return on.median_s / workers.median_s
 
+    @property
+    def guard_overhead(self) -> float:
+        """Guard-leg median over cache-on median (governance cost)."""
+
+        on = self.legs.get("on")
+        guard = self.legs.get("guard")
+        if on is None or guard is None or on.median_s == 0:
+            return 1.0
+        return guard.median_s / on.median_s
+
     def to_dict(self) -> dict:
         return {
             "description": self.description,
             "legs": {leg: result.to_dict() for leg, result in self.legs.items()},
             "cache_speedup": self.speedup,
             "workers_speedup": self.workers_speedup,
+            "guard_overhead": self.guard_overhead,
         }
 
 
@@ -157,15 +185,26 @@ class BenchReport:
 
 
 def _time_leg(
-    suite: Suite, cache: bool, workers: int, warmup: int, trials: int
+    suite: Suite,
+    cache: bool,
+    workers: int,
+    warmup: int,
+    trials: int,
+    governed: bool = False,
 ) -> list[float]:
-    for _ in range(warmup):
-        suite.run(cache, workers)
-    times = []
-    for _ in range(trials):
-        started = perf_counter()
-        suite.run(cache, workers)
-        times.append(perf_counter() - started)
+    scope = (
+        (lambda: _guard.governed(_guard.Budget.unlimited()))
+        if governed
+        else nullcontext
+    )
+    with scope():
+        for _ in range(warmup):
+            suite.run(cache, workers)
+        times = []
+        for _ in range(trials):
+            started = perf_counter()
+            suite.run(cache, workers)
+            times.append(perf_counter() - started)
     return times
 
 
@@ -189,7 +228,14 @@ def run_bench(
                     f"{suite.name}: leg {leg} "
                     f"({warmup} warmup + {trials} trials)"
                 )
-            times = _time_leg(suite, cache, workers, warmup, trials)
+            times = _time_leg(
+                suite,
+                cache,
+                workers,
+                warmup,
+                trials,
+                governed=leg in GOVERNED_LEGS,
+            )
             result.legs[leg] = LegResult(suite.name, leg, times)
         report.suites[suite.name] = result
     return report
@@ -204,6 +250,31 @@ def profile_suites(suites: Sequence[Suite] | None = None) -> Profile:
         for suite in suites:
             suite.run(True)
     return Profile.from_tracer(tracer)
+
+
+def guard_overhead_gate(
+    report: BenchReport,
+    *,
+    suite: str = "corpus",
+    threshold: float = GUARD_OVERHEAD_THRESHOLD,
+) -> tuple[bool, str]:
+    """Assert the guard leg costs under ``threshold`` on ``suite``.
+
+    Returns ``(ok, message)``.  A missing suite or leg passes trivially
+    (the gate only judges what actually ran — the compare gate flags
+    dropped legs separately).
+    """
+
+    result = report.suites.get(suite)
+    if result is None or "guard" not in result.legs or "on" not in result.legs:
+        return True, f"guard overhead gate: skipped ({suite} not benchmarked)"
+    overhead = result.guard_overhead - 1.0
+    ok = overhead < threshold
+    verdict = "PASS" if ok else "FAIL"
+    return ok, (
+        f"guard overhead gate: {verdict} ({suite} governed run costs "
+        f"{overhead:+.1%} vs ungoverned; budget +{threshold:.0%})"
+    )
 
 
 def render_report(report: BenchReport) -> str:
@@ -235,5 +306,10 @@ def render_report(report: BenchReport) -> str:
         if "workers4" in suite.legs:
             lines.append(
                 f"  {name:<12} workers speedup: {suite.workers_speedup:.2f}x"
+            )
+        if "guard" in suite.legs:
+            lines.append(
+                f"  {name:<12} guard overhead: "
+                f"{suite.guard_overhead - 1.0:+.1%}"
             )
     return "\n".join(lines) + "\n"

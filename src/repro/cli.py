@@ -54,6 +54,7 @@ from .analysis import (
     parallelizable_loops,
     parse_assertion,
 )
+from .guard import BudgetExhausted, injecting, plan_from_env
 from .ir import parse
 from .obs import MetricsRegistry, Tracer, collecting, tracing
 from .reporting import flow_tables
@@ -128,6 +129,26 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "solver service worker threads (default: REPRO_WORKERS or 1; "
             "results are identical at any setting)"
+        ),
+    )
+    analyze_cmd.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "wall-clock budget for the whole analysis; when it runs out, "
+            "remaining Omega queries degrade to sound conservative answers "
+            "(the result is a superset of the exact dependences) and the "
+            "degradations are reported"
+        ),
+    )
+    analyze_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "raise on budget exhaustion instead of degrading "
+            "(with --deadline-ms or REPRO_FAULTS)"
         ),
     )
     analyze_cmd.add_argument(
@@ -260,6 +281,10 @@ def _cmd_analyze(args) -> int:
         options.cache = False
     if args.workers is not None:
         options.workers = args.workers
+    if args.deadline_ms is not None:
+        options.deadline_ms = args.deadline_ms
+    if args.strict:
+        options.policy = "raise"
     tracer = Tracer() if args.trace_out else None
     registry = MetricsRegistry() if (args.stats or args.metrics_out) else None
     with ExitStack() as stack:
@@ -267,7 +292,19 @@ def _cmd_analyze(args) -> int:
             stack.enter_context(tracing(tracer))
         if registry is not None:
             stack.enter_context(collecting(registry))
-        result = analyze(program, options)
+        fault_plan = plan_from_env()
+        if fault_plan is not None:
+            stack.enter_context(injecting(fault_plan))
+        try:
+            result = analyze(program, options)
+        except BudgetExhausted as failure:
+            print(f"error: {failure}", file=sys.stderr)
+            print(
+                "the analysis exceeded its resource budget under --strict; "
+                "rerun without --strict for a sound conservative answer",
+                file=sys.stderr,
+            )
+            return 2
     if args.json:
         from .reporting import result_to_json
 
@@ -284,6 +321,13 @@ def _cmd_analyze(args) -> int:
         if args.explain and result.explain is not None:
             print()
             print(result.explain.render())
+        if result.degraded():
+            print()
+            print(
+                "WARNING: resource budget exhausted; the dependences above "
+                "are a sound superset of the exact answer."
+            )
+            print(result.degradations.render())
         if args.stats and registry is not None:
             print()
             print(registry.summary())
@@ -348,6 +392,7 @@ def _cmd_bench(args) -> int:
         DEFAULT_THRESHOLD,
         SUITES,
         compare,
+        guard_overhead_gate,
         load_artifact,
         profile_suites,
         render_report,
@@ -395,6 +440,9 @@ def _cmd_bench(args) -> int:
     (args.results_dir / "bench_omega.txt").write_text(table)
     print(table)
 
+    guard_ok, guard_message = guard_overhead_gate(report)
+    print(guard_message)
+
     if args.profile:
         profile = profile_suites(suites)
         hotspots = profile.hotspot_table(limit=20)
@@ -413,8 +461,8 @@ def _cmd_bench(args) -> int:
             load_artifact(args.compare), report.to_dict(), threshold=threshold
         )
         print(comparison.render())
-        return 0 if comparison.ok else 1
-    return 0
+        return 0 if (comparison.ok and guard_ok) else 1
+    return 0 if guard_ok else 1
 
 
 def _cmd_cholsky(_args) -> int:

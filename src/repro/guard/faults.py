@@ -1,0 +1,239 @@
+"""Deterministic fault injection for chaos testing.
+
+A :class:`FaultPlan` decides — purely from its seed, the checkpoint site
+name and a per-site call counter — whether a given checkpoint "fails".
+Decisions are derived from SHA-256 draws, never from :mod:`random`'s
+global state or ``hash()`` (which is salted per process), so a plan
+replays identically across runs, machines and ``PYTHONHASHSEED`` values.
+
+Three fault kinds:
+
+``timeout``
+    Raise :class:`~repro.omega.errors.BudgetExhausted` with
+    ``budget="deadline"`` — what a blown wall-clock deadline looks like.
+``budget``
+    Raise :class:`~repro.omega.errors.BudgetExhausted` for one of the work
+    meters (``fm_steps`` / ``splinters`` / ``dnf_size``), chosen by a
+    second deterministic draw.
+``crash``
+    Raise :class:`FaultInjected` (a plain ``RuntimeError``): an unexpected
+    worker exception.  Crash faults fire only at the solver service's
+    worker sites (:data:`CRASH_SITES`) where the retry/isolation machinery
+    is the component under test; elsewhere they would bypass the layers
+    that are supposed to contain them.
+
+Plans activate with :func:`injecting` (thread-local, propagated to solver
+workers) and are typically built from the ``REPRO_FAULTS`` environment
+variable via :func:`plan_from_env`:
+
+    REPRO_FAULTS=42
+    REPRO_FAULTS="seed=42,rate=0.1,kinds=timeout|crash,sites=omega.sat"
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..obs.instrument import metrics as _metrics
+from ..omega.errors import BudgetExhausted
+
+__all__ = [
+    "CRASH_SITES",
+    "DEFAULT_RATE",
+    "FaultInjected",
+    "FaultPlan",
+    "current_plan",
+    "injecting",
+    "plan_from_env",
+    "suppressed",
+]
+
+#: Default per-checkpoint failure probability.
+DEFAULT_RATE = 0.05
+
+#: All fault kinds a plan may inject.
+KINDS = ("timeout", "budget", "crash")
+
+#: Sites where ``crash`` faults may fire (the solver service's worker
+#: wrapper consults these through :meth:`FaultPlan.maybe_crash`).
+CRASH_SITES = frozenset({"solver.worker"})
+
+#: Work meters a ``budget`` fault can claim to have exhausted.
+_BUDGET_KINDS = ("fm_steps", "splinters", "dnf_size")
+
+
+class FaultInjected(RuntimeError):
+    """An injected worker crash (an 'unexpected' exception by design)."""
+
+    def __init__(self, site: str, count: int):
+        super().__init__(f"injected fault at {site} (call #{count})")
+        self.site = site
+        self.count = count
+
+
+def _draw(seed: int, site: str, count: int, salt: str = "") -> float:
+    """A deterministic uniform draw in [0, 1)."""
+
+    digest = hashlib.sha256(
+        f"{seed}|{site}|{count}|{salt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic schedule of injected faults."""
+
+    seed: int
+    rate: float = DEFAULT_RATE
+    kinds: tuple[str, ...] = KINDS
+    #: Restrict injection to these sites (None = every site).
+    sites: frozenset[str] | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _counts: dict = field(default_factory=dict, repr=False)
+    #: Every fault actually raised, as (site, kind, count) — for tests.
+    injected: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        for kind in self.kinds:
+            if kind not in KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+
+    def _count(self, site: str) -> int:
+        with self._lock:
+            count = self._counts.get(site, 0) + 1
+            self._counts[site] = count
+        return count
+
+    def _applies(self, site: str) -> bool:
+        return self.sites is None or site in self.sites
+
+    def maybe_fail(self, site: str) -> None:
+        """Checkpoint hook: raise a timeout/budget fault, or return.
+
+        Crash faults never fire here — see :meth:`maybe_crash`.
+        """
+
+        soft = [k for k in self.kinds if k != "crash"]
+        if not soft or not self._applies(site):
+            return
+        count = self._count(site)
+        if _draw(self.seed, site, count) >= self.rate:
+            return
+        kind = soft[int(_draw(self.seed, site, count, "kind") * len(soft))]
+        self.injected.append((site, kind, count))
+        _metrics.inc("guard.faults_injected")
+        if kind == "timeout":
+            raise BudgetExhausted(
+                "injected deadline fault",
+                site=site,
+                budget="deadline",
+                limit=0.0,
+                spent=0.0,
+            )
+        meter = _BUDGET_KINDS[
+            int(_draw(self.seed, site, count, "meter") * len(_BUDGET_KINDS))
+        ]
+        raise BudgetExhausted(
+            "injected budget fault", site=site, budget=meter, limit=0, spent=1
+        )
+
+    def maybe_crash(self, site: str) -> None:
+        """Worker hook: raise :class:`FaultInjected`, or return."""
+
+        if "crash" not in self.kinds or site not in CRASH_SITES:
+            return
+        if not self._applies(site):
+            return
+        count = self._count(site)
+        if _draw(self.seed, site, count, "crash") < self.rate:
+            self.injected.append((site, "crash", count))
+            _metrics.inc("guard.faults_injected")
+            raise FaultInjected(site, count)
+
+
+class _ActivePlans(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[FaultPlan | None] = []
+
+
+_active = _ActivePlans()
+
+
+def current_plan() -> FaultPlan | None:
+    """The innermost active fault plan on this thread, or None.
+
+    A :func:`suppressed` scope masks any enclosing plan.
+    """
+
+    stack = _active.stack
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def injecting(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the enclosed calls on this thread."""
+
+    _active.stack.append(plan)
+    try:
+        yield plan
+    finally:
+        _active.stack.pop()
+
+
+@contextmanager
+def suppressed() -> Iterator[None]:
+    """Mask fault injection for the enclosed calls (the harness's escape
+    hatch: the solver service's last-resort task re-execution runs under
+    this, modeling a clean worker restart)."""
+
+    _active.stack.append(None)
+    try:
+        yield
+    finally:
+        _active.stack.pop()
+
+
+def plan_from_env(environ=None) -> FaultPlan | None:
+    """Build a plan from ``REPRO_FAULTS``, or None when unset/empty.
+
+    Accepts a bare integer seed, or a comma-separated spec of
+    ``seed=N``, ``rate=F``, ``kinds=a|b``, ``sites=x|y``.
+    """
+
+    raw = (environ if environ is not None else os.environ).get(
+        "REPRO_FAULTS", ""
+    ).strip()
+    if not raw:
+        return None
+    if raw.lstrip("-").isdigit():
+        return FaultPlan(seed=int(raw))
+    seed = 0
+    rate = DEFAULT_RATE
+    kinds: tuple[str, ...] = KINDS
+    sites: frozenset[str] | None = None
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        name = name.strip()
+        value = value.strip()
+        if name == "seed":
+            seed = int(value)
+        elif name == "rate":
+            rate = float(value)
+        elif name == "kinds":
+            kinds = tuple(k for k in value.split("|") if k)
+        elif name == "sites":
+            sites = frozenset(s for s in value.split("|") if s)
+        else:
+            raise ValueError(f"unknown REPRO_FAULTS field {name!r}")
+    return FaultPlan(seed=seed, rate=rate, kinds=kinds, sites=sites)

@@ -83,6 +83,14 @@ CATALOG: tuple[str, ...] = (
     "solver.memo.misses",
     "solver.memo.evictions",
     "solver.tasks",
+    # Resource governance (repro.guard).
+    "guard.budget_exhausted",
+    "guard.degradations",
+    "guard.faults_injected",
+    "guard.worker_failures",
+    "guard.worker_retries",
+    "guard.worker_restarts",
+    "guard.batch_crashes",
     # Analysis pipeline.
     "analysis.pairs_analyzed",
     "analysis.dependences_found",

@@ -37,7 +37,12 @@ from .eliminate import (
     mod_hat,
     substitute,
 )
-from .errors import NonlinearConstraintError, OmegaComplexityError, OmegaError
+from .errors import (
+    BudgetExhausted,
+    NonlinearConstraintError,
+    OmegaComplexityError,
+    OmegaError,
+)
 from .gist import GistStats, gist, implies, implies_union
 from .presburger import (
     FALSE,
@@ -124,5 +129,6 @@ __all__ = [
     # errors
     "OmegaError",
     "OmegaComplexityError",
+    "BudgetExhausted",
     "NonlinearConstraintError",
 ]

@@ -45,7 +45,7 @@ from typing import Iterator, Sequence
 
 from ..obs import metrics as _metrics
 from .constraints import Constraint, Problem, canonicalize_problems
-from .errors import OmegaComplexityError
+from .errors import BudgetExhausted, OmegaComplexityError
 from .terms import LinearExpr, Variable, fresh_wildcard
 
 __all__ = [
@@ -91,19 +91,71 @@ def default_cache_size() -> int:
 
 
 class Raised:
-    """A cached complexity failure: replayed as the same exception."""
+    """A cached complexity failure: replayed as the same exception.
 
-    __slots__ = ("message",)
+    Carries the structured fields of :class:`OmegaComplexityError` so a
+    replay is indistinguishable from the original raise.  ``exhausted``
+    marks a :class:`~repro.omega.errors.BudgetExhausted` — such entries are
+    used only for in-flight replay (batch cells, single-flight futures),
+    never stored in a cache: a deadline failure describes the run, not the
+    problem.
+    """
 
-    def __init__(self, message: str):
+    __slots__ = ("message", "site", "budget", "limit", "spent", "exhausted")
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str | None = None,
+        budget: str | None = None,
+        limit: float | None = None,
+        spent: float | None = None,
+        exhausted: bool = False,
+    ):
         self.message = message
+        self.site = site
+        self.budget = budget
+        self.limit = limit
+        self.spent = spent
+        self.exhausted = exhausted
+
+    @classmethod
+    def from_exception(cls, exc: OmegaComplexityError) -> "Raised":
+        return cls(
+            exc.message,
+            site=exc.site,
+            budget=exc.budget,
+            limit=exc.limit,
+            spent=exc.spent,
+            exhausted=isinstance(exc, BudgetExhausted),
+        )
+
+    def rebuild(self) -> OmegaComplexityError:
+        """The exception this entry replays."""
+
+        if self.exhausted:
+            return BudgetExhausted(
+                self.message,
+                site=self.site or "unknown",
+                budget=self.budget or "unknown",
+                limit=self.limit,
+                spent=self.spent,
+            )
+        return OmegaComplexityError(
+            self.message,
+            site=self.site,
+            budget=self.budget,
+            limit=self.limit,
+            spent=self.spent,
+        )
 
 
 def unwrap(entry):
     """Return a cached value, re-raising cached complexity failures."""
 
     if isinstance(entry, Raised):
-        raise OmegaComplexityError(entry.message)
+        raise entry.rebuild()
     return entry
 
 

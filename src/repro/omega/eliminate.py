@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..guard import budget as _guard
 from ..obs import metrics as _metrics
 from ..obs import off as _obs_off
 from ..obs.trace import span as _span
@@ -159,7 +160,14 @@ def _eliminate_equalities(
     while True:
         steps += 1
         if steps > _MAX_EQUALITY_STEPS:
-            raise OmegaComplexityError("equality elimination did not terminate")
+            raise OmegaComplexityError(
+                "equality elimination did not terminate",
+                site="omega.eliminate",
+                budget="equality_steps",
+                limit=_MAX_EQUALITY_STEPS,
+                spent=steps,
+            )
+        _guard.checkpoint("omega.eliminate")
 
         target: Constraint | None = None
         for constraint in current.constraints:
@@ -285,6 +293,8 @@ def fourier_motzkin(
     splinter budget is exceeded.
     """
 
+    _guard.checkpoint("omega.fm")
+    _guard.spend("fm_steps", site="omega.fm")
     if _obs_off():
         return _fourier_motzkin(problem, var, want_splinters, max_splinters)
     _metrics.inc("omega.fm_calls")
@@ -357,8 +367,13 @@ def _fourier_motzkin(
             for i in range(limit + 1):
                 if len(splinters) >= max_splinters:
                     raise OmegaComplexityError(
-                        f"splinter budget exceeded eliminating {var}"
+                        f"splinter budget exceeded eliminating {var}",
+                        site="omega.fm",
+                        budget="max_splinters",
+                        limit=max_splinters,
+                        spent=len(splinters),
                     )
+                _guard.spend("splinters", site="omega.fm")
                 spl = Problem(list(problem.constraints), problem.name)
                 # b*var = beta + i  =>  b*var + lo_rest - i = 0
                 spl.add(

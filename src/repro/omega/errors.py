@@ -1,4 +1,15 @@
-"""Exceptions raised by the Omega constraint engine."""
+"""Exceptions raised by the Omega constraint engine.
+
+Complexity failures are *structured*: :class:`OmegaComplexityError` carries
+the checkpoint site, the budget that was exhausted, its limit and the
+amount spent, so callers (the solver service's degradation policy, the
+metrics layer, error reports) never have to parse ``.message`` strings.
+:class:`BudgetExhausted` is the subclass raised by the resource-governance
+layer (:mod:`repro.guard`): it is an :class:`OmegaComplexityError`, so
+every existing conservative fallback stays sound, but services can
+distinguish it (deadline failures are nondeterministic and must never be
+cached).
+"""
 
 from __future__ import annotations
 
@@ -15,13 +26,89 @@ class OmegaComplexityError(OmegaError):
     count, DNF size, substitution depth) is exhausted we raise this error
     rather than looping forever, so callers can fall back to a conservative
     answer.
+
+    ``site`` names the checkpoint that raised (e.g. ``"omega.fm"``),
+    ``budget`` the exhausted budget (e.g. ``"splinters"``), ``limit`` the
+    configured bound and ``spent`` how much had been consumed.  All four
+    are optional: legacy raise sites carry only the message.
     """
 
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str | None = None,
+        budget: str | None = None,
+        limit: float | None = None,
+        spent: float | None = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.site = site
+        self.budget = budget
+        self.limit = limit
+        self.spent = spent
 
-class NonlinearConstraintError(OmegaError):
+    def fields(self) -> dict:
+        """The structured fields as a plain dict (for logs and reports)."""
+
+        return {
+            "site": self.site,
+            "budget": self.budget,
+            "limit": self.limit,
+            "spent": self.spent,
+        }
+
+    def __str__(self) -> str:
+        if self.site is None and self.budget is None:
+            return self.message
+        detail = ", ".join(
+            f"{name}={value}"
+            for name, value in self.fields().items()
+            if value is not None
+        )
+        return f"{self.message} [{detail}]"
+
+
+class BudgetExhausted(OmegaComplexityError):
+    """A :mod:`repro.guard` budget ran out at a cooperative checkpoint.
+
+    Subclasses :class:`OmegaComplexityError` so every ``except
+    OmegaComplexityError`` conservative fallback already in the tree
+    handles it soundly — but caches and memos must *not* store it (a
+    deadline failure is a property of the run, not of the problem).
+    """
+
+    def __init__(
+        self,
+        message: str | None = None,
+        *,
+        site: str,
+        budget: str,
+        limit: float | None = None,
+        spent: float | None = None,
+    ):
+        if message is None:
+            message = f"budget '{budget}' exhausted at {site}"
+        super().__init__(
+            message, site=site, budget=budget, limit=limit, spent=spent
+        )
+
+
+class NonlinearConstraintError(OmegaError, TypeError):
     """Raised when a constraint that is not affine reaches the core engine.
 
     Non-linear terms must be abstracted into symbolic variables by the
     symbolic-analysis layer (see :mod:`repro.analysis.ufuncs`) before the
-    integer programming core ever sees them.
+    integer programming core ever sees them.  Also a :class:`TypeError`,
+    because the usual entry point is an arithmetic operator
+    (``Variable * Variable``).  ``term`` is the offending operand and is
+    embedded in the message.
     """
+
+    def __init__(self, message: str, *, term: object = None):
+        if term is not None:
+            message = f"{message} (offending term: {term!r})"
+        super().__init__(message)
+        self.message = message
+        self.term = term

@@ -18,12 +18,13 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from ..guard import budget as _guard
 from ..obs import metrics as _metrics
 from ..obs import off as _obs_off
 from ..obs.trace import span as _span
 from . import cache as _cache
 from .constraints import Constraint, Problem, Relation, canonicalize_problems
-from .errors import OmegaComplexityError
+from .errors import BudgetExhausted, OmegaComplexityError
 from .project import Projection, project
 from .solve import is_satisfiable
 from .terms import LinearExpr, Variable
@@ -154,7 +155,8 @@ def gist(
             cache_tag="miss",
         )
     except OmegaComplexityError as exc:
-        cache.put(key, _cache.Raised(str(exc)))
+        if not isinstance(exc, BudgetExhausted):
+            cache.put(key, _cache.Raised.from_exception(exc))
         raise
     cache.put(key, _cache.freeze_problems([result], joint.rename)[0])
     return result
@@ -242,6 +244,7 @@ def _gist(
         context_q = list(q_constraints)
         pending = list(working)
         while pending:
+            _guard.checkpoint("omega.gist")
             e = pending.pop(0)
             stats.naive_tests += 1
             if _negation_satisfiable(e, pending + context_q):
@@ -333,6 +336,7 @@ def _gist(
     context_q = q_constraints + definite
     pending = list(undecided)
     while pending:
+        _guard.checkpoint("omega.gist")
         e = pending.pop(0)
         stats.naive_tests += 1
         if _negation_satisfiable(e, pending + context_q):
@@ -422,7 +426,8 @@ def implies_union(
     try:
         result = _implies_union(p, pieces, max_cubes=max_cubes)
     except OmegaComplexityError as exc:
-        cache.put(key, _cache.Raised(str(exc)))
+        if not isinstance(exc, BudgetExhausted):
+            cache.put(key, _cache.Raised.from_exception(exc))
         raise
     cache.put(key, result)
     return result
@@ -451,13 +456,21 @@ def _implies_union(
             negation_literals.extend(negation_clauses(constraint))
         new_cubes: list[list[Constraint]] = []
         for cube in cubes:
+            _guard.checkpoint("omega.gist")
             for literal in negation_literals:
                 candidate = cube + literal
                 trial = Problem(candidate + list(p.constraints))
                 if is_satisfiable(trial):
+                    _guard.spend("dnf_size", site="omega.gist")
                     new_cubes.append(candidate)
                 if len(new_cubes) > max_cubes:
-                    raise OmegaComplexityError("implication cube budget exceeded")
+                    raise OmegaComplexityError(
+                        "implication cube budget exceeded",
+                        site="omega.gist",
+                        budget="max_cubes",
+                        limit=max_cubes,
+                        spent=len(new_cubes),
+                    )
         if not new_cubes:
             return True
         cubes = new_cubes

@@ -193,7 +193,13 @@ def valid(formula: Formula) -> bool:
 
 def _check_budget(problems: Sequence[Problem]) -> None:
     if len(problems) > _MAX_DISJUNCTS:
-        raise OmegaComplexityError("formula normalization disjunct budget exceeded")
+        raise OmegaComplexityError(
+            "formula normalization disjunct budget exceeded",
+            site="omega.presburger",
+            budget="max_disjuncts",
+            limit=_MAX_DISJUNCTS,
+            spent=len(problems),
+        )
 
 
 def _qe(formula: Formula, negate: bool) -> list[Problem]:

@@ -17,13 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..guard import budget as _guard
 from ..obs import metrics as _metrics
 from ..obs import off as _obs_off
 from ..obs.trace import span as _span
 from . import cache as _cache
 from .constraints import NormalizeStatus, Problem
 from .eliminate import choose_variable, eliminate_equalities, fourier_motzkin
-from .errors import OmegaComplexityError
+from .errors import BudgetExhausted, OmegaComplexityError
 from .solve import is_satisfiable
 from .terms import Variable
 
@@ -141,6 +142,11 @@ def _project(problem: Problem, kept: frozenset[Variable]) -> Projection:
     exact = True
     try:
         _project_pieces(problem, kept, pieces, 0)
+    except BudgetExhausted:
+        # A governed budget ran out: let the exhaustion propagate so the
+        # solver service can apply its degradation policy (the dark-only
+        # fallback below would just keep spending against a spent budget).
+        raise
     except OmegaComplexityError:
         # Give up on exactness: fall back to the dark-shadow-only track,
         # which is still a sound under-approximation.
@@ -193,7 +199,13 @@ def _project_pieces(
     """Append the exact union decomposition of the projection to ``out``."""
 
     if depth > _MAX_DEPTH:
-        raise OmegaComplexityError("projection recursion too deep")
+        raise OmegaComplexityError(
+            "projection recursion too deep",
+            site="omega.project",
+            budget="recursion_depth",
+            limit=_MAX_DEPTH,
+            spent=depth,
+        )
 
     outcome = eliminate_equalities(problem, protected=kept)
     if not outcome.satisfiable:
@@ -201,6 +213,7 @@ def _project_pieces(
     current = outcome.problem
 
     while True:
+        _guard.checkpoint("omega.project")
         candidates = _eliminable(current, kept)
         if not candidates:
             normalized, status = current.normalized()
@@ -208,7 +221,14 @@ def _project_pieces(
                 normalized
             ):
                 if len(out) >= _MAX_PIECES:
-                    raise OmegaComplexityError("projection piece budget exceeded")
+                    raise OmegaComplexityError(
+                        "projection piece budget exceeded",
+                        site="omega.project",
+                        budget="max_pieces",
+                        limit=_MAX_PIECES,
+                        spent=len(out),
+                    )
+                _guard.spend("dnf_size", site="omega.project")
                 out.append(normalized)
             return
         var, _ = choose_variable(current, candidates)
@@ -240,6 +260,7 @@ def _project_dark_only(
         return
     current = outcome.problem
     while True:
+        _guard.checkpoint("omega.project")
         candidates = _eliminable(current, kept)
         if not candidates:
             normalized, status = current.normalized()
@@ -268,6 +289,7 @@ def _project_real(problem: Problem, kept: frozenset[Variable]) -> Problem:
         return unsat
     current = outcome.problem
     while True:
+        _guard.checkpoint("omega.project")
         candidates = _eliminable(current, kept)
         if not candidates:
             normalized, status = current.normalized()

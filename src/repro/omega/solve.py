@@ -20,13 +20,14 @@ import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from ..guard import budget as _guard
 from ..obs import metrics as _metrics
 from ..obs import off as _obs_off
 from ..obs.trace import span as _span
 from . import cache as _cache
 from .constraints import NormalizeStatus, Problem
 from .eliminate import choose_variable, eliminate_equalities, fourier_motzkin
-from .errors import OmegaComplexityError
+from .errors import BudgetExhausted, OmegaComplexityError
 
 __all__ = ["is_satisfiable", "OmegaStats", "collect_stats", "current_stats"]
 
@@ -161,7 +162,11 @@ def is_satisfiable(problem: Problem) -> bool:
                 result = _sat(problem, 0)
             _metrics.observe("omega.sat_seconds", sp.duration)
     except OmegaComplexityError as exc:
-        cache.put(key, _cache.Raised(str(exc)))
+        # Static complexity failures are a property of the problem and are
+        # replayed from the cache; budget exhaustion is a property of the
+        # *run* (deadlines are nondeterministic) and is never stored.
+        if not isinstance(exc, BudgetExhausted):
+            cache.put(key, _cache.Raised.from_exception(exc))
         raise
     cache.put(key, result)
     return result
@@ -169,7 +174,13 @@ def is_satisfiable(problem: Problem) -> bool:
 
 def _sat(problem: Problem, depth: int) -> bool:
     if depth > _MAX_DEPTH:
-        raise OmegaComplexityError("satisfiability recursion too deep")
+        raise OmegaComplexityError(
+            "satisfiability recursion too deep",
+            site="omega.sat",
+            budget="recursion_depth",
+            limit=_MAX_DEPTH,
+            spent=depth,
+        )
 
     outcome = eliminate_equalities(problem)
     if not outcome.satisfiable:
@@ -177,6 +188,7 @@ def _sat(problem: Problem, depth: int) -> bool:
     current = outcome.problem
 
     while True:
+        _guard.checkpoint("omega.sat")
         variables = current.variables()
         if not variables:
             # Normalization inside eliminate_equalities already decided
@@ -225,13 +237,20 @@ def _sat_real_track(problem: Problem, depth: int) -> bool:
     """
 
     if depth > _MAX_DEPTH:
-        raise OmegaComplexityError("real-shadow recursion too deep")
+        raise OmegaComplexityError(
+            "real-shadow recursion too deep",
+            site="omega.sat",
+            budget="recursion_depth",
+            limit=_MAX_DEPTH,
+            spent=depth,
+        )
 
     outcome = eliminate_equalities(problem)
     if not outcome.satisfiable:
         return False
     current = outcome.problem
     while True:
+        _guard.checkpoint("omega.sat")
         variables = current.variables()
         if not variables:
             return True

@@ -185,6 +185,14 @@ class LinearExpr:
 
     def __mul__(self, factor: object) -> "LinearExpr":
         if not isinstance(factor, int):
+            if isinstance(factor, (LinearExpr, Variable)):
+                from .errors import NonlinearConstraintError
+
+                raise NonlinearConstraintError(
+                    "products of variables are not affine; abstract the "
+                    "non-linear term into a symbolic variable first",
+                    term=factor,
+                )
             raise TypeError("linear expressions can only be scaled by integers")
         if factor == 0:
             return LinearExpr({}, 0)

@@ -68,6 +68,23 @@ def result_to_dict(result: AnalysisResult) -> dict[str, Any]:
         "output": [dependence_to_dict(d) for d in result.output],
         "input": [dependence_to_dict(d) for d in result.input],
         "counts": result.counts(),
+        "degraded": result.degraded(),
+        "degradations": (
+            [
+                {
+                    "subject": event.subject,
+                    "kind": event.kind,
+                    "site": event.site,
+                    "budget": event.budget,
+                    "limit": event.limit,
+                    "spent": event.spent,
+                    "answer": event.answer,
+                }
+                for event in result.degradations
+            ]
+            if result.degradations is not None
+            else None
+        ),
     }
 
 

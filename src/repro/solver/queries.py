@@ -27,9 +27,30 @@ from typing import Any, Iterable, Sequence
 
 from ..omega import cache as _ocache
 from ..omega.constraints import Problem
+from ..omega.project import Projection
 from ..omega.terms import Variable
 
-__all__ = ["QueryKind", "SolverQuery", "problem_key"]
+__all__ = ["QueryKind", "SolverQuery", "degraded_projection", "problem_key"]
+
+
+def degraded_projection(keep: Iterable[Variable]) -> Projection:
+    """The sound conservative stand-in for an unaffordable projection.
+
+    An *inexact* union with no pieces and an unconstrained real shadow:
+    ``exact_union=False`` tells every consumer that the piece list proves
+    nothing (coverage checks return False, refinement bails, kill cases are
+    dropped), while the trivially-true real shadow over-approximates the
+    projection so direction/distance bounds degrade to "unknown" rather
+    than to something wrong.
+    """
+
+    return Projection(
+        frozenset(keep),
+        [],
+        Problem(name="DEGRADED"),
+        exact_union=False,
+        splintered=True,
+    )
 
 
 class QueryKind(enum.Enum):
@@ -141,6 +162,42 @@ class SolverQuery:
             problem_key(self.problem),
             problem_key(self.given),
         )
+
+    def conservative(self):
+        """The sound conservative answer for this query.
+
+        This is what the service substitutes when the query exhausts its
+        resource budget under the ``degrade`` policy.  Each answer errs on
+        the side of *more* dependences:
+
+        - SAT: ``True`` — the dependence problem is assumed satisfiable.
+        - PROJECT: an inexact empty-union projection whose real shadow is
+          unconstrained; consumers (kill reasoning, coverage, refinement)
+          treat it as "nothing proven".
+        - GIST: the problem itself — ``p AND given == p AND given`` holds
+          trivially, so returning ``p`` unsimplified is always correct.
+        - IMPLIES (plain or union): ``False`` — the implication is simply
+          not proven, so no kill/cover/terminate conclusion is drawn.
+        """
+
+        if self.kind is QueryKind.SAT:
+            return True
+        if self.kind is QueryKind.PROJECT:
+            return degraded_projection(self.keep or ())
+        if self.kind is QueryKind.GIST:
+            return self.problem.copy()
+        return False
+
+    def conservative_answer(self) -> str:
+        """Human-readable description of :meth:`conservative`'s answer."""
+
+        if self.kind is QueryKind.SAT:
+            return "assumed satisfiable"
+        if self.kind is QueryKind.PROJECT:
+            return "left unprojected (inexact union)"
+        if self.kind is QueryKind.GIST:
+            return "left unsimplified"
+        return "implication not proven"
 
     def execute(self):
         """Run the query against the Omega core (through its own cache

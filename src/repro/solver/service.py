@@ -45,22 +45,28 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, Sequence
 
+from ..guard import budget as _guard
+from ..guard import faults as _faults
+from ..guard.faults import FaultInjected
 from ..obs import instrument as _instr
+from ..obs import off as _obs_off
 from ..obs.instrument import metrics as _metrics
 from ..obs.instrument import span as _span
 from ..omega import cache as _ocache
 from ..omega.cache import MISSING, Raised, SolverCache, unwrap
 from ..omega.constraints import Problem
-from ..omega.errors import OmegaComplexityError
-from .queries import SolverQuery
+from ..omega.errors import BudgetExhausted, OmegaComplexityError
+from .queries import SolverQuery, degraded_projection
 
 __all__ = [
     "DEFAULT_MEMO_SIZE",
+    "DEFAULT_WORKER_RETRIES",
     "SolverService",
     "current_service",
     "default_workers",
@@ -69,6 +75,32 @@ __all__ = [
 #: Identity-memo capacity (pipelined mode).  Sized so a full corpus pass
 #: (~10k distinct queries) fits without evictions.
 DEFAULT_MEMO_SIZE = 65536
+
+#: Bounded retry budget for unexpected worker-task exceptions (the task is
+#: re-run with exponential backoff; Omega complexity/budget failures are
+#: never retried — they are deterministic).
+DEFAULT_WORKER_RETRIES = 2
+
+#: Base backoff between worker retries, in seconds.
+DEFAULT_RETRY_BACKOFF_S = 0.001
+
+#: A batch cell whose worker task crashed past its retry budget; the
+#: first such crash (in submission order) is re-raised after every other
+#: cell has settled, so one poisoned task cannot discard its batch-mates'
+#: finished (and memoized) work.
+_CRASHED = object()
+
+
+def _assume_sat() -> bool:
+    """Conservative SAT answer: assume the dependence problem holds."""
+
+    return True
+
+
+def _not_proven() -> bool:
+    """Conservative implication answer: nothing is proven."""
+
+    return False
 
 
 def default_workers() -> int:
@@ -142,11 +174,17 @@ class SolverService:
         memo_size: int = DEFAULT_MEMO_SIZE,
         shared_cache: SolverCache | None = None,
         threads: bool | None = None,
+        worker_retries: int = DEFAULT_WORKER_RETRIES,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if memo_size < 1:
             raise ValueError("memo_size must be >= 1")
+        if worker_retries < 0:
+            raise ValueError("worker_retries must be >= 0")
+        self.worker_retries = worker_retries
+        self.retry_backoff_s = retry_backoff_s
         self.workers = workers
         self.pipelined = workers > 1
         # Whether fan-out actually uses the thread pool.  None = auto:
@@ -181,6 +219,9 @@ class SolverService:
         self.misses = 0
         self.evictions = 0
         self.inflight_waits = 0
+        self.degraded = 0
+        self.worker_failures = 0
+        self.worker_restarts = 0
 
     # -- construction / lifecycle --------------------------------------
     @classmethod
@@ -245,11 +286,51 @@ class SolverService:
             _worker.inside = True
             try:
                 with enter():
-                    return fn(*args)
+                    return self._attempt(fn, args)
             finally:
                 _worker.inside = was_inside
 
         return self._ensure_executor().submit(call)
+
+    def _attempt(self, fn: Callable, args: tuple):
+        """One worker task: crash injection, bounded retry, restart.
+
+        Omega complexity and budget failures are deterministic, so they
+        are never retried.  Any other exception — injected worker crashes
+        included — is retried up to ``worker_retries`` times with
+        exponential backoff.  Once the retry budget is spent, an
+        *injected* crash under the ``degrade`` policy gets one final
+        fault-suppressed attempt (modelling a clean worker restart), so a
+        chaos run degrades instead of raising.
+        """
+
+        attempt = 0
+        while True:
+            try:
+                plan = _faults.current_plan()
+                if plan is not None:
+                    plan.maybe_crash("solver.worker")
+                return fn(*args)
+            except (OmegaComplexityError, KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:  # noqa: BLE001 - bounded retry
+                self.worker_failures += 1
+                _metrics.inc("guard.worker_failures")
+                attempt += 1
+                if attempt > self.worker_retries:
+                    gov = _guard.active()
+                    if (
+                        isinstance(error, FaultInjected)
+                        and gov is not None
+                        and gov.policy == "degrade"
+                    ):
+                        self.worker_restarts += 1
+                        _metrics.inc("guard.worker_restarts")
+                        with _faults.suppressed():
+                            return fn(*args)
+                    raise
+                _metrics.inc("guard.worker_retries")
+                time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
 
     # -- the identity memo (pipelined mode) ----------------------------
     def _memoized(self, key, fn: Callable, *args):
@@ -280,8 +361,24 @@ class SolverService:
         try:
             value = fn(*args)
             stored = value
+        except BudgetExhausted as failure:
+            # Deadline/budget exhaustion describes *this run*, not the
+            # problem, so it must never be memoized — but waiters on the
+            # in-flight future still get the structured failure replayed.
+            resolved = Raised.from_exception(failure)
+            with self._lock:
+                self._inflight.pop(key, None)
+            pending.set_result(resolved)
+            raise
         except OmegaComplexityError as failure:
-            stored = Raised(str(failure))
+            stored = Raised.from_exception(failure)
+        except BaseException as error:
+            # A crashed computation may not strand its waiters: release
+            # the in-flight future with the error before propagating.
+            with self._lock:
+                self._inflight.pop(key, None)
+            pending.set_exception(error)
+            raise
         with self._lock:
             memo = self._memo
             memo[key] = stored
@@ -300,38 +397,109 @@ class SolverService:
             return fn(*args)
         return self._memoized(key, fn, *args)
 
-    def _protected(self, key, fn: Callable, args: tuple):
-        """Batch cell: a value, or a :class:`Raised` complexity failure."""
+    def _governed_evaluate(self, key, fn: Callable, args: tuple):
+        """Evaluate one top-level query under the active governor.
+
+        The ``solver.query`` checkpoint fires the deadline check (and any
+        injected faults) at the query boundary; ``fresh_query`` resets the
+        per-query work meters so one expensive query cannot starve the
+        rest of the analysis of FM/splinter/DNF budget.
+        """
+
+        _guard.checkpoint("solver.query")
+        gov = _guard.active()
+        if gov is None:
+            return self._evaluate(key, fn, *args)
+        with gov.fresh_query():
+            return self._evaluate(key, fn, *args)
+
+    def _degrade(self, kind: str, fallback: Callable, answer: str, failure):
+        """Apply the degradation policy to an exhausted query.
+
+        Under ``degrade`` the sound conservative ``fallback`` answer is
+        substituted and the event is recorded with full provenance; under
+        ``raise`` (``--strict``) — or with no governor at all — the
+        structured :class:`BudgetExhausted` propagates unchanged.
+        Degraded answers are never memoized.
+        """
+
+        gov = _guard.active()
+        if gov is None or gov.policy != "degrade":
+            raise failure
+        value = fallback()
+        self.degraded += 1
+        gov.note_degradation(kind=kind, answer=answer, failure=failure)
+        if not _obs_off():
+            with _span(
+                "guard.degraded",
+                kind=kind,
+                site=failure.site or "?",
+                budget=failure.budget or "?",
+            ):
+                pass
+        return value
+
+    def _shielded(
+        self, key, fn: Callable, args: tuple, kind: str, fallback: Callable,
+        answer: str,
+    ):
+        """A scalar query with the degradation shield around it."""
 
         try:
-            return self._evaluate(key, fn, *args)
+            return self._governed_evaluate(key, fn, args)
+        except BudgetExhausted as failure:
+            return self._degrade(kind, fallback, answer, failure)
+
+    def _protected(
+        self,
+        key,
+        fn: Callable,
+        args: tuple,
+        kind: str = "query",
+        fallback: Callable | None = None,
+        answer: str = "",
+    ):
+        """Batch cell: a value, a degraded answer, or a :class:`Raised`."""
+
+        try:
+            return self._governed_evaluate(key, fn, args)
+        except BudgetExhausted as failure:
+            gov = _guard.active()
+            if fallback is not None and gov is not None and gov.policy == "degrade":
+                return self._degrade(kind, fallback, answer, failure)
+            return Raised.from_exception(failure)
         except OmegaComplexityError as failure:
-            return Raised(str(failure))
+            return Raised.from_exception(failure)
 
     # -- scalar primitives ----------------------------------------------
     def sat(self, problem: Problem) -> bool:
         self.queries += 1
         _metrics.inc("solver.queries")
-        return self._evaluate(
+        return self._shielded(
             ("sat", tuple(problem.constraints)),
             _ocache.is_satisfiable,
-            problem,
+            (problem,),
+            "sat",
+            _assume_sat,
+            "assumed satisfiable",
         )
 
     def project(self, problem: Problem, keep):
         self.queries += 1
         _metrics.inc("solver.queries")
-        return self._evaluate(
+        return self._shielded(
             ("project", tuple(problem.constraints), frozenset(keep)),
             _ocache.project,
-            problem,
-            keep,
+            (problem, keep),
+            "project",
+            lambda: degraded_projection(keep),
+            "left unprojected (inexact union)",
         )
 
     def gist(self, problem: Problem, given: Problem, **options):
         self.queries += 1
         _metrics.inc("solver.queries")
-        return self._evaluate(
+        return self._shielded(
             (
                 "gist",
                 tuple(problem.constraints),
@@ -339,20 +507,26 @@ class SolverService:
                 tuple(sorted(options.items())),
             ),
             lambda: _ocache.gist(problem, given, **options),
+            (),
+            "gist",
+            problem.copy,
+            "left unsimplified",
         )
 
     def implies(self, problem: Problem, given: Problem) -> bool:
         self.queries += 1
         _metrics.inc("solver.queries")
-        return self._evaluate(
+        return self._shielded(
             (
                 "implies",
                 tuple(problem.constraints),
                 tuple(given.constraints),
             ),
             _ocache.implies,
-            problem,
-            given,
+            (problem, given),
+            "implies",
+            _not_proven,
+            "implication not proven",
         )
 
     def implies_union(
@@ -360,7 +534,7 @@ class SolverService:
     ) -> bool:
         self.queries += 1
         _metrics.inc("solver.queries")
-        return self._evaluate(
+        return self._shielded(
             (
                 "implies-union",
                 tuple(problem.constraints),
@@ -368,6 +542,10 @@ class SolverService:
                 tuple(sorted(options.items())),
             ),
             lambda: _ocache.implies_union(problem, list(pieces), **options),
+            (),
+            "implies-union",
+            _not_proven,
+            "implication not proven",
         )
 
     def run(self, query: SolverQuery):
@@ -376,16 +554,26 @@ class SolverService:
         self.queries += 1
         _metrics.inc("solver.queries")
         with _span("solver.query", kind=query.kind.value):
-            return self._evaluate(query.key(), query.execute)
+            return self._shielded(
+                query.key(),
+                query.execute,
+                (),
+                query.kind.value,
+                query.conservative,
+                query.conservative_answer(),
+            )
 
     # -- batches ---------------------------------------------------------
     def _run_batch(self, keyed: list) -> list:
-        """Execute ``(key, fn, args)`` cells: dedup, fan out, reassemble.
+        """Execute ``(key, fn, args, kind, fallback, answer)`` cells.
 
         Duplicate keys compute once.  Distinct cells run on the worker
         pool in pipelined mode (inline from worker threads); results come
         back in submission order, and the first complexity failure (in
-        submission order) is re-raised exactly as serial execution would.
+        submission order) is re-raised — with its structured fields —
+        exactly as serial execution would.  Budget exhaustion is degraded
+        per cell (see :meth:`_protected`) before it can become a batch
+        failure.
         """
 
         self.batches += 1
@@ -393,35 +581,60 @@ class SolverService:
         _metrics.inc("solver.batch.queries", len(keyed))
         order: list = []
         index_of: dict = {}
-        for key, fn, args in keyed:
-            if key not in index_of:
-                index_of[key] = len(order)
-                order.append((key, fn, args))
+        for cell in keyed:
+            if cell[0] not in index_of:
+                index_of[cell[0]] = len(order)
+                order.append(cell)
         duplicates = len(keyed) - len(order)
         if duplicates:
             self.batch_dedup += duplicates
             _metrics.inc("solver.batch.dedup_hits", duplicates)
         with _span("solver.batch", size=len(keyed), distinct=len(order)):
             if not self.threaded or _worker.inside or len(order) <= 1:
-                computed = [
-                    self._protected(key, fn, args) for key, fn, args in order
-                ]
+                computed = [self._protected(*cell) for cell in order]
             else:
                 futures = [
-                    self._spawn(self._protected, key, fn, args)
-                    for key, fn, args in order
+                    self._spawn(self._protected, *cell) for cell in order
                 ]
-                computed = [future.result() for future in futures]
+                computed = self._settle(futures)
         results: list = []
         failure: Raised | None = None
-        for key, _fn, _args in keyed:
-            entry = computed[index_of[key]]
+        for cell in keyed:
+            entry = computed[index_of[cell[0]]]
             if isinstance(entry, Raised) and failure is None:
                 failure = entry
             results.append(entry)
         if failure is not None:
-            raise OmegaComplexityError(failure.message)
+            raise failure.rebuild()
         return results
+
+    def _settle(self, futures: list) -> list:
+        """Settle every batch future; re-raise the first crash afterwards.
+
+        Crash isolation: a task that dies past its retry budget no longer
+        poisons the batch — every other cell still runs to completion (and
+        is memoized) before the first crash, in submission order, is
+        re-raised.  KeyboardInterrupt cancels the outstanding futures
+        immediately instead of draining the batch.
+        """
+
+        computed: list = []
+        crash: BaseException | None = None
+        for future in futures:
+            try:
+                computed.append(future.result())
+            except (KeyboardInterrupt, SystemExit):
+                for rest in futures:
+                    rest.cancel()
+                raise
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                _metrics.inc("guard.batch_crashes")
+                computed.append(_CRASHED)
+                if crash is None:
+                    crash = error
+        if crash is not None:
+            raise crash
+        return computed
 
     def submit_batch(self, queries: Sequence[SolverQuery]) -> list:
         """Execute declarative queries; results in submission order."""
@@ -432,7 +645,17 @@ class SolverService:
         self.queries += len(queries)
         _metrics.inc("solver.queries", len(queries))
         return self._run_batch(
-            [(query.key(), query.execute, ()) for query in queries]
+            [
+                (
+                    query.key(),
+                    query.execute,
+                    (),
+                    query.kind.value,
+                    query.conservative,
+                    query.conservative_answer(),
+                )
+                for query in queries
+            ]
         )
 
     def sat_batch(self, problems: Sequence[Problem]) -> list[bool]:
@@ -449,6 +672,9 @@ class SolverService:
                     ("sat", tuple(problem.constraints)),
                     _ocache.is_satisfiable,
                     (problem,),
+                    "sat",
+                    _assume_sat,
+                    "assumed satisfiable",
                 )
                 for problem in problems
             ]
@@ -462,8 +688,10 @@ class SolverService:
         engine uses this for independent per-read dependence tasks whose
         solver batches then overlap).  Serial and single-core services —
         and calls made from inside a worker task — run inline, preserving
-        exact serial execution order.  The first exception, in item order, is re-raised
-        after every task has settled.
+        exact serial execution order.  The first hard failure (in item
+        order) cancels every outstanding future instead of draining the
+        whole batch, then re-raises; KeyboardInterrupt cancels and
+        propagates immediately.
         """
 
         items = list(items)
@@ -474,12 +702,19 @@ class SolverService:
         futures = [self._spawn(fn, item) for item in items]
         results: list = []
         failure: BaseException | None = None
-        for future in futures:
+        for index, future in enumerate(futures):
+            if failure is not None:
+                future.cancel()
+                results.append(None)
+                continue
             try:
                 results.append(future.result())
+            except (KeyboardInterrupt, SystemExit):
+                for rest in futures[index:]:
+                    rest.cancel()
+                raise
             except BaseException as error:  # noqa: BLE001 - re-raised below
-                if failure is None:
-                    failure = error
+                failure = error
                 results.append(None)
         if failure is not None:
             raise failure
@@ -521,5 +756,8 @@ class SolverService:
             "batch_dedup": self.batch_dedup,
             "inflight_waits": self.inflight_waits,
             "tasks": self.tasks,
+            "degraded": self.degraded,
+            "worker_failures": self.worker_failures,
+            "worker_restarts": self.worker_restarts,
             "cache": self.cache_stats(),
         }

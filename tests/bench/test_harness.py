@@ -10,12 +10,17 @@ import math
 from repro.bench import (
     SCHEMA,
     SUITES,
+    BenchReport,
+    LegResult,
     Suite,
+    SuiteResult,
+    guard_overhead_gate,
     machine_fingerprint,
     profile_suites,
     render_report,
     run_bench,
 )
+from repro.guard import active as guard_active
 
 
 def _micro_suite(log=None):
@@ -31,16 +36,34 @@ class TestRunner:
     def test_runs_warmup_and_trials_in_every_leg(self):
         log = []
         run_bench([_micro_suite(log)], warmup=2, trials=3)
-        # Leg order: cache-on, cache-off, workers4 — 2 warmup + 3 timed each.
+        # Leg order: cache-on, cache-off, workers4, guard — 2 warmup +
+        # 3 timed each (the guard leg reuses the serial cached config).
         configs = [(cache, workers) for cache, workers, _ in log]
         assert configs == (
-            [(True, 1)] * 5 + [(False, 1)] * 5 + [(True, 4)] * 5
+            [(True, 1)] * 5
+            + [(False, 1)] * 5
+            + [(True, 4)] * 5
+            + [(True, 1)] * 5
         )
+
+    def test_guard_leg_runs_governed(self):
+        seen = []
+
+        def run(cache, workers=1):
+            seen.append((cache, workers, guard_active() is not None))
+
+        run_bench([Suite("micro", "governed probe", run)], warmup=0, trials=1)
+        assert seen == [
+            (True, 1, False),
+            (False, 1, False),
+            (True, 4, False),
+            (True, 1, True),  # only the guard leg activates a governor
+        ]
 
     def test_report_statistics(self):
         report = run_bench([_micro_suite()], warmup=0, trials=5)
         result = report.suites["micro"]
-        for leg in ("on", "off", "workers4"):
+        for leg in ("on", "off", "workers4", "guard"):
             stats = result.legs[leg]
             assert len(stats.trials) == 5
             assert stats.median_s > 0
@@ -48,6 +71,7 @@ class TestRunner:
             assert stats.iqr_s >= 0
         assert result.speedup > 0
         assert result.workers_speedup > 0
+        assert result.guard_overhead > 0
 
     def test_median_is_the_statistical_median(self):
         report = run_bench([_micro_suite()], warmup=0, trials=3)
@@ -66,12 +90,13 @@ class TestArtifact:
         for key in ("platform", "python", "implementation", "cpus"):
             assert key in payload["machine"]
         legs = payload["suites"]["micro"]["legs"]
-        assert set(legs) == {"on", "off", "workers4"}
+        assert set(legs) == {"on", "off", "workers4", "guard"}
         for leg in legs.values():
             assert {"median_s", "iqr_s", "min_s", "max_s", "trials_s"} <= set(leg)
             assert len(leg["trials_s"]) == 2
         assert payload["suites"]["micro"]["cache_speedup"] > 0
         assert payload["suites"]["micro"]["workers_speedup"] > 0
+        assert payload["suites"]["micro"]["guard_overhead"] > 0
 
     def test_fingerprint_is_stable_within_a_process(self):
         assert machine_fingerprint() == machine_fingerprint()
@@ -82,7 +107,36 @@ class TestArtifact:
         assert "micro" in table
         assert "cache speedup" in table
         assert "workers speedup" in table
+        assert "guard overhead" in table
         assert "median" in table and "iqr" in table
+
+
+class TestGuardOverheadGate:
+    @staticmethod
+    def _report(on, guard, suite="corpus"):
+        result = SuiteResult(suite, "synthetic")
+        result.legs["on"] = LegResult(suite, "on", [on])
+        result.legs["guard"] = LegResult(suite, "guard", [guard])
+        return BenchReport({suite: result}, {}, 0, 1)
+
+    def test_passes_under_threshold(self):
+        ok, message = guard_overhead_gate(self._report(1.0, 1.02))
+        assert ok
+        assert "PASS" in message
+
+    def test_fails_over_threshold(self):
+        ok, message = guard_overhead_gate(self._report(1.0, 1.20))
+        assert not ok
+        assert "FAIL" in message
+
+    def test_threshold_override(self):
+        ok, _ = guard_overhead_gate(self._report(1.0, 1.20), threshold=0.5)
+        assert ok
+
+    def test_skips_when_suite_missing(self):
+        ok, message = guard_overhead_gate(BenchReport({}, {}, 0, 1))
+        assert ok
+        assert "skipped" in message
 
 
 class TestRegisteredSuites:

@@ -1,0 +1,171 @@
+"""Budget/Governor mechanics: checkpoints, meters, deadlines, policies."""
+
+import pytest
+
+from repro.guard import (
+    Budget,
+    BudgetExhausted,
+    DegradationEvent,
+    DegradationLog,
+    Governor,
+    OmegaComplexityError,
+    active,
+    checkpoint,
+    current_subject,
+    governed,
+    spend,
+    subject,
+)
+from repro.omega import Variable
+from repro.omega.errors import NonlinearConstraintError
+
+
+class TestUngoverned:
+    def test_checkpoint_and_spend_are_noops(self):
+        assert active() is None
+        checkpoint("omega.fm")
+        spend("fm_steps", 10**6, site="omega.fm")
+
+    def test_subject_is_none(self):
+        assert current_subject() is None
+
+
+class TestActivation:
+    def test_governed_scopes_nest_and_unwind(self):
+        assert active() is None
+        with governed(Budget()) as outer:
+            assert active() is outer
+            with governed(Budget(fm_steps=1)) as inner:
+                assert active() is inner
+            assert active() is outer
+        assert active() is None
+
+    def test_subject_tags_nest_and_unwind(self):
+        with subject("outer"):
+            assert current_subject() == "outer"
+            with subject("inner"):
+                assert current_subject() == "inner"
+            assert current_subject() == "outer"
+        assert current_subject() is None
+
+    def test_policy_is_validated(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            Governor(Budget(), "bogus", DegradationLog())
+        with pytest.raises(ValueError, match="unknown policy"):
+            with governed(Budget(), policy="bogus"):
+                pass
+
+
+class TestBudgets:
+    def test_unlimited_never_exhausts(self):
+        with governed(Budget.unlimited()):
+            for _ in range(1000):
+                checkpoint("omega.fm")
+                spend("fm_steps", 100, site="omega.fm")
+                spend("splinters", 100, site="omega.fm")
+                spend("dnf_size", 100, site="omega.project")
+
+    def test_limit_for(self):
+        budget = Budget(deadline_ms=5.0, fm_steps=7)
+        assert budget.limit_for("deadline") == 5.0
+        assert budget.limit_for("fm_steps") == 7
+        assert budget.limit_for("splinters") is None
+
+    def test_deadline_checkpoint_raises_with_provenance(self):
+        with governed(Budget(deadline_ms=0.0)):
+            with pytest.raises(BudgetExhausted) as err:
+                checkpoint("omega.fm")
+        failure = err.value
+        assert failure.site == "omega.fm"
+        assert failure.budget == "deadline"
+        assert failure.limit == 0.0
+        assert failure.spent is not None
+        assert isinstance(failure, OmegaComplexityError)
+        assert "budget 'deadline' exhausted at omega.fm" in str(failure)
+        assert "[site=omega.fm" in str(failure)
+
+    def test_meter_exhaustion_carries_fields(self):
+        with governed(Budget(fm_steps=2)):
+            spend("fm_steps", site="omega.fm")
+            spend("fm_steps", site="omega.fm")
+            with pytest.raises(BudgetExhausted) as err:
+                spend("fm_steps", site="omega.eliminate")
+        assert err.value.fields() == {
+            "site": "omega.eliminate",
+            "budget": "fm_steps",
+            "limit": 2,
+            "spent": 3,
+        }
+
+    def test_unmetered_kinds_stay_unlimited(self):
+        with governed(Budget(fm_steps=2)):
+            spend("splinters", 1000, site="omega.fm")
+            spend("dnf_size", 1000, site="omega.project")
+
+    def test_fresh_query_resets_and_nested_queries_share(self):
+        with governed(Budget(fm_steps=2)) as gov:
+            with gov.fresh_query():
+                spend("fm_steps", 2, site="omega.fm")
+            # A new top-level query gets its own allowance...
+            with gov.fresh_query():
+                spend("fm_steps", 2, site="omega.fm")
+                # ...but a nested (re-entrant) query counts against it.
+                with gov.fresh_query():
+                    with pytest.raises(BudgetExhausted):
+                        spend("fm_steps", 1, site="omega.fm")
+
+
+class TestDegradationLog:
+    def test_note_degradation_records_provenance(self):
+        log = DegradationLog()
+        with governed(Budget(fm_steps=0), log=log) as gov:
+            with subject("flow: A(i) -> A(i-1)"):
+                failure = BudgetExhausted(
+                    site="omega.fm", budget="fm_steps", limit=0, spent=1
+                )
+                event = gov.note_degradation(
+                    kind="sat", answer="assumed satisfiable", failure=failure
+                )
+        assert event.subject == "flow: A(i) -> A(i-1)"
+        assert event.site == "omega.fm"
+        assert event.budget == "fm_steps"
+        assert event.limit == 0 and event.spent == 1
+        assert len(log) == 1
+        assert list(log)[0] is event
+        assert log.subjects() == {"flow: A(i) -> A(i-1)"}
+        assert "degraded to 'assumed satisfiable'" in log.render()
+        assert event.describe().startswith("flow: A(i) -> A(i-1): sat degraded")
+
+    def test_untagged_events_say_so(self):
+        event = DegradationEvent(None, "sat", None, None, None, None, "True")
+        assert event.describe().startswith("<untagged>: ")
+
+
+class TestStructuredErrors:
+    def test_legacy_complexity_error_is_message_only(self):
+        err = OmegaComplexityError("splinter budget exceeded eliminating x")
+        assert str(err) == "splinter budget exceeded eliminating x"
+        assert err.fields() == {
+            "site": None,
+            "budget": None,
+            "limit": None,
+            "spent": None,
+        }
+
+    def test_budget_exhausted_default_message(self):
+        err = BudgetExhausted(
+            site="omega.project", budget="dnf_size", limit=4, spent=5
+        )
+        assert err.message == "budget 'dnf_size' exhausted at omega.project"
+        assert str(err) == (
+            "budget 'dnf_size' exhausted at omega.project "
+            "[site=omega.project, budget=dnf_size, limit=4, spent=5]"
+        )
+
+    def test_nonlinear_error_carries_the_offending_term(self):
+        x, y = Variable("x"), Variable("y")
+        with pytest.raises(NonlinearConstraintError) as err:
+            (x + 1) * y
+        assert err.value.term is y
+        assert "offending term" in str(err.value)
+        assert isinstance(err.value, TypeError)

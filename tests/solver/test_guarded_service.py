@@ -1,0 +1,235 @@
+"""Worker fault containment: retry, restart, crash isolation, cancellation.
+
+These tests drive the service's task layer with synthetic failures (and
+the fault harness's injected crashes) rather than real Omega queries, so
+each containment behavior is observable in isolation:
+
+- transient worker exceptions are retried with backoff;
+- injected crashes get a fault-suppressed restart under ``degrade``;
+- a crashed batch cell cannot discard its batch-mates' finished work;
+- ``map`` cancels outstanding futures after the first hard failure;
+- complexity failures are memoized and replayed with their structured
+  fields, while ``BudgetExhausted`` is never memoized at all.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.guard import Budget, FaultPlan, governed, injecting
+from repro.omega.errors import BudgetExhausted, OmegaComplexityError
+from repro.solver import SolverService
+
+
+def threaded_service(**kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("cache", True)
+    kwargs.setdefault("threads", True)
+    return SolverService(**kwargs)
+
+
+class Recorder:
+    """Thread-safe record of which items a map/batch actually executed."""
+
+    def __init__(self):
+        self.seen = []
+        self._lock = threading.Lock()
+
+    def note(self, item):
+        with self._lock:
+            self.seen.append(item)
+
+
+class TestRetries:
+    def test_transient_failures_are_retried(self):
+        service = threaded_service()
+        calls = Recorder()
+        first_failed = threading.Event()
+
+        def flaky(item):
+            calls.note(item)
+            if item == 0 and not first_failed.is_set():
+                first_failed.set()
+                raise RuntimeError("transient")
+            return item * 10
+
+        try:
+            assert service.map(flaky, [0, 1]) == [0, 10]
+        finally:
+            service.close()
+        assert service.worker_failures == 1
+        assert calls.seen.count(0) == 2  # original + one retry
+
+    def test_retry_budget_is_bounded(self):
+        service = threaded_service(worker_retries=2)
+        calls = Recorder()
+
+        def doomed(item):
+            calls.note(item)
+            raise ValueError("permanent")
+
+        try:
+            with pytest.raises(ValueError, match="permanent"):
+                service.map(doomed, ["a", "b"])
+        finally:
+            service.close()
+        # Each attempted item ran at most 1 + worker_retries times.
+        for item in set(calls.seen):
+            assert calls.seen.count(item) <= 3
+
+    def test_complexity_failures_are_never_retried(self):
+        service = threaded_service()
+        calls = Recorder()
+
+        def hard(item):
+            calls.note(item)
+            raise OmegaComplexityError("too hard")
+
+        try:
+            with pytest.raises(OmegaComplexityError, match="too hard"):
+                service.map(hard, [0, 1])
+        finally:
+            service.close()
+        for item in set(calls.seen):
+            assert calls.seen.count(item) == 1
+
+
+class TestInjectedCrashes:
+    def test_crashes_restart_suppressed_under_degrade(self):
+        service = threaded_service()
+        done = Recorder()
+
+        def task(item):
+            done.note(item)
+            return item + 1
+
+        plan = FaultPlan(seed=11, rate=1.0, kinds=("crash",))
+        try:
+            with governed(Budget.unlimited()), injecting(plan):
+                assert service.map(task, [0, 1, 2]) == [1, 2, 3]
+        finally:
+            service.close()
+        # Every attempt crashed before the fn ran, so every success came
+        # from the fault-suppressed restart path.
+        assert service.worker_restarts == 3
+        assert service.worker_failures == 9  # 3 items x (1 + 2 retries)
+        assert sorted(done.seen) == [0, 1, 2]
+        assert all(kind == "crash" for _site, kind, _count in plan.injected)
+
+    def test_crashes_propagate_under_strict(self):
+        from repro.guard import FaultInjected
+
+        service = threaded_service()
+        plan = FaultPlan(seed=11, rate=1.0, kinds=("crash",))
+        try:
+            with governed(Budget.unlimited(), policy="raise"), injecting(plan):
+                with pytest.raises(FaultInjected):
+                    service.map(lambda item: item, [0, 1, 2])
+        finally:
+            service.close()
+        assert service.worker_restarts == 0
+
+
+class TestBatchIsolation:
+    def test_one_crashed_cell_does_not_discard_the_batch(self):
+        service = threaded_service()
+        done = Recorder()
+
+        def boom():
+            raise ValueError("poisoned cell")
+
+        def fine():
+            done.note("fine")
+            return 42
+
+        cells = [
+            (("crash-key",), boom, (), "sat", None, ""),
+            (("fine-key",), fine, (), "sat", None, ""),
+        ]
+        try:
+            with pytest.raises(ValueError, match="poisoned cell"):
+                service._run_batch(cells)
+        finally:
+            service.close()
+        # The healthy cell settled and its result was memoized before the
+        # crash was re-raised.
+        assert done.seen == ["fine"]
+        assert service._memo[("fine-key",)] == 42
+
+
+class TestMapCancellation:
+    def test_first_failure_cancels_outstanding_items(self):
+        service = threaded_service(worker_retries=0)
+        done = Recorder()
+
+        def task(item):
+            if item == 0:
+                raise RuntimeError("fail fast")
+            time.sleep(0.2)
+            done.note(item)
+            return item
+
+        try:
+            with pytest.raises(RuntimeError, match="fail fast"):
+                service.map(task, list(range(10)))
+        finally:
+            service.close()
+        # With 2 workers and a fast failure, the unstarted tail must have
+        # been cancelled instead of drained (the old behavior ran all 9
+        # sleepers to completion).
+        assert len(done.seen) < 9
+
+    def test_keyboard_interrupt_cancels_and_propagates(self):
+        service = threaded_service(worker_retries=0)
+        done = Recorder()
+
+        def task(item):
+            if item == 0:
+                raise KeyboardInterrupt
+            time.sleep(0.2)
+            done.note(item)
+            return item
+
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                service.map(task, list(range(10)))
+        finally:
+            service.close()
+        assert len(done.seen) < 9
+
+
+class TestMemoReplay:
+    def test_complexity_failures_replay_with_fields(self):
+        service = SolverService(workers=2, cache=True, threads=False)
+        calls = Recorder()
+
+        def hard():
+            calls.note("hard")
+            raise OmegaComplexityError(
+                "too hard", site="omega.fm", budget="splinters", limit=1, spent=2
+            )
+
+        for _ in range(2):
+            with pytest.raises(OmegaComplexityError, match="too hard") as err:
+                service._evaluate(("hard-key",), hard)
+            assert err.value.site == "omega.fm"
+            assert err.value.budget == "splinters"
+            assert err.value.limit == 1
+            assert err.value.spent == 2
+        assert calls.seen == ["hard"]  # second raise replayed from the memo
+
+    def test_budget_exhaustion_is_never_memoized(self):
+        service = SolverService(workers=2, cache=True, threads=False)
+        calls = Recorder()
+
+        def flaky():
+            calls.note("flaky")
+            if len(calls.seen) == 1:
+                raise BudgetExhausted(site="solver.query", budget="deadline")
+            return 5
+
+        with pytest.raises(BudgetExhausted):
+            service._evaluate(("flaky-key",), flaky)
+        assert service._evaluate(("flaky-key",), flaky) == 5
+        assert calls.seen == ["flaky", "flaky"]

@@ -1,5 +1,6 @@
 """CLI tests (python -m repro)."""
 
+import json
 import pathlib
 
 import pytest
@@ -252,6 +253,7 @@ class TestBenchCommand:
             "on",
             "off",
             "workers4",
+            "guard",
         }
         assert (results / "bench_omega.txt").exists()
         assert "cache speedup" in capsys.readouterr().out
@@ -337,3 +339,57 @@ class TestBenchCommand:
     def test_unknown_suite_rejected(self, capsys):
         assert main(["bench", "--suite", "nope"]) == 2
         assert "unknown suite" in capsys.readouterr().err
+
+
+class TestRobustness:
+    """--deadline-ms / --strict and the REPRO_FAULTS chaos hook."""
+
+    def test_deadline_degrades_with_warning(self, program_file, capsys):
+        assert main(["analyze", str(program_file), "--deadline-ms", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: resource budget exhausted" in out
+        assert "sound superset" in out
+        assert "degraded result(s):" in out
+
+    def test_strict_deadline_exits_2(self, program_file, capsys):
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(program_file),
+                    "--deadline-ms",
+                    "0",
+                    "--strict",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "budget 'deadline' exhausted" in err
+        assert "--strict" in err
+
+    def test_faults_env_activates_injection(
+        self, program_file, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=1,rate=1.0,kinds=timeout")
+        assert main(["analyze", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: resource budget exhausted" in out
+
+    def test_json_carries_degradations(self, program_file, capsys):
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(program_file),
+                    "--deadline-ms",
+                    "0",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert data["degraded"] is True
+        assert data["degradations"]
+        assert all(entry["site"] for entry in data["degradations"])
