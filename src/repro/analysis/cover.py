@@ -17,6 +17,8 @@ tests instead, exactly as the paper describes).
 
 from __future__ import annotations
 
+from ..guard import budget as _guard
+from ..obs.audit import note_conservative as _note_conservative
 from ..obs.instrument import metrics as _metrics
 from ..obs.instrument import span as _span
 from ..omega import Problem, Variable
@@ -59,6 +61,9 @@ def _check_universal_coverage(
         raise
     except OmegaComplexityError:
         # Sound fallback: test against the dark shadow only.
+        _note_conservative(
+            _guard.current_subject(), "cover-dark-shadow-fallback"
+        )
         return implies(lhs, projection.dark)
 
 

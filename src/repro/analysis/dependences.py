@@ -109,6 +109,11 @@ class Dependence:
             return ""
         return ", ".join(str(v) for v in self.directions)
 
+    def subject(self) -> str:
+        """The stable explain/audit/guard key — no mutable status tags."""
+
+        return f"{self.kind.value}: {self.src} -> {self.dst}"
+
     def tags(self) -> str:
         letters = ""
         if self.covers:

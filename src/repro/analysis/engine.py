@@ -24,13 +24,14 @@ refined, covered, killed or kept.
 from __future__ import annotations
 
 from contextlib import ExitStack
-from dataclasses import dataclass, field, replace as _replace
+from dataclasses import asdict as _asdict, dataclass, field, replace as _replace
 from typing import Iterable, Sequence
 
 from ..guard import Budget, DegradationLog
 from ..guard import budget as _guard
 from ..guard import faults as _faults
 from ..ir.ast import Access, Program
+from ..obs.audit import AuditLog, ProvenanceRecord, auditing as _auditing
 from ..obs.explain import ExplainLog
 from ..obs.instrument import Tracer
 from ..obs.instrument import metrics as _metrics
@@ -63,18 +64,33 @@ __all__ = ["AnalysisOptions", "analyze", "Analyzer"]
 def _subject(dep: Dependence) -> str:
     """A stable explain-mode key for a dependence (no mutable tags)."""
 
-    return f"{dep.kind.value}: {dep.src} -> {dep.dst}"
+    return dep.subject()
 
 
 @dataclass
 class _ReadSink:
     """Per-read collection of side outputs (explain decisions, timing
-    records).  Each flow task writes only to its own sink, so tasks can run
-    concurrently; the engine merges sinks in read order afterwards."""
+    records, provenance).  Each flow task writes only to its own sink, so
+    tasks can run concurrently; the engine merges sinks in read order
+    afterwards."""
 
     explain: ExplainLog | None
+    #: Audit mode only: provenance is collected per read, merged in read
+    #: order (the bit-identity contract shared with explain mode).
+    audit: bool = False
     pair_records: list[PairRecord] = field(default_factory=list)
     kill_timings: list[KillTiming] = field(default_factory=list)
+    provenance: list[ProvenanceRecord] = field(default_factory=list)
+    #: Flow pairs the Omega test proved independent: (write, read).
+    independents: list[tuple[Access, Access]] = field(default_factory=list)
+    #: Per-subject decision trail, appended in pipeline order.
+    events: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
+    #: Subject -> whether the deciding kill consulted the Omega test.
+    kill_used: dict[str, bool] = field(default_factory=dict)
+
+    def note_event(self, subject: str, stage: str, detail: str) -> None:
+        if self.audit:
+            self.events.setdefault(subject, []).append((stage, detail))
 
 
 @dataclass
@@ -105,6 +121,11 @@ class AnalysisOptions:
     #: Record a structured decision trail (why each dependence was killed,
     #: covered, refined or kept) in ``result.explain``.
     explain: bool = False
+    #: Record per-dependence provenance (deciding stage, query footprint,
+    #: exactness, degradations) in ``result.provenance`` — the precision
+    #: audit layer behind ``python -m repro audit``.  Records are
+    #: bit-identical across ``workers`` and cache settings.
+    audit: bool = False
     #: Memoize Omega queries on their canonical form for the duration of
     #: the analysis (bit-identical results either way).  Defaults to on
     #: unless the ``REPRO_NO_CACHE`` environment variable is set.  When a
@@ -174,6 +195,8 @@ class Analyzer:
             ExplainLog() if options.explain else None
         )
         self.result.explain = self.explain
+        self.audit: AuditLog | None = AuditLog() if options.audit else None
+        self.result.audit = self.audit
         #: The solver service every query of this run goes through (set by
         #: :meth:`run`; adopted or private, see there).
         self.service: SolverService | None = None
@@ -221,8 +244,12 @@ class Analyzer:
                         budget, policy=self.options.policy, log=log
                     )
                 )
+            if self.audit is not None:
+                stack.enter_context(_auditing(self.audit))
             with _span("analysis.analyze", program=self.program.name) as sp:
                 self._run_phases()
+            if self.audit is not None:
+                self._finalize_audit()
             if sp.duration:
                 _metrics.observe("analysis.analyze_seconds", sp.duration)
             if self.options.cache:
@@ -231,6 +258,109 @@ class Analyzer:
                     self.result.cache_stats = stats
                     _metrics.set_gauge("omega.cache.size", stats["size"])
         return self.result
+
+    # -- provenance assembly (audit mode) -------------------------------
+    def _independent_record(
+        self, kind: DependenceKind, src: Access, dst: Access
+    ) -> ProvenanceRecord:
+        """A pair the Omega test proved dependence-free."""
+
+        return ProvenanceRecord(
+            subject=f"{kind.value}: {src} -> {dst}",
+            kind=kind.value,
+            src=str(src),
+            dst=str(dst),
+            verdict="independent",
+            status="none",
+            stage="omega-unsat",
+        )
+
+    def _dependence_record(
+        self, dep: Dependence, sink: "_ReadSink | None" = None
+    ) -> ProvenanceRecord:
+        """One record from a dependence's *final* analysis state."""
+
+        subject = dep.subject()
+        decided_by: str | None = None
+        used_omega: bool | None = None
+        if dep.status is DependenceStatus.LIVE:
+            verdict = "reported"
+            extended = self.options.extended and dep.kind is DependenceKind.FLOW
+            stage = "kept" if extended else "standard"
+        elif dep.status is DependenceStatus.COVERED:
+            verdict = "eliminated"
+            stage = "cover"
+            used_omega = False  # structural: source runs before the coverer
+        else:
+            verdict = "eliminated"
+            killer = dep.eliminated_by
+            terminated = killer is not None and killer.kind is DependenceKind.OUTPUT
+            stage = "terminate" if terminated else "kill"
+            if sink is not None and not terminated:
+                used_omega = sink.kill_used.get(subject)
+        if dep.eliminated_by is not None:
+            decided_by = dep.eliminated_by.subject()
+        unrefined = None
+        if dep.refined and dep.unrefined_directions:
+            unrefined = ", ".join(str(v) for v in dep.unrefined_directions)
+        record = ProvenanceRecord(
+            subject=subject,
+            kind=dep.kind.value,
+            src=str(dep.src),
+            dst=str(dep.dst),
+            verdict=verdict,
+            status=dep.status.value,
+            stage=stage,
+            decided_by=decided_by,
+            direction=dep.direction_text() or None,
+            unrefined_direction=unrefined,
+            refined=dep.refined,
+            covers=dep.covers,
+            used_omega=used_omega,
+        )
+        if sink is not None:
+            record.events = list(sink.events.get(subject, ()))
+        return record
+
+    def _finalize_audit(self) -> None:
+        """Fold query footprints and degradations into the records."""
+
+        by_subject: dict[str, ProvenanceRecord] = {
+            record.subject: record for record in self.result.provenance
+        }
+        for record in self.result.provenance:
+            footprint = self.audit.footprint_for(record.subject)
+            record.queries = dict(footprint.queries)
+            for reason in sorted(footprint.inexact_reasons):
+                if reason not in record.inexact_reasons:
+                    record.inexact_reasons.append(reason)
+            record.exact = footprint.exact
+        if self.result.degradations is not None:
+            for event in self.result.degradations:
+                subject = event.subject
+                if subject is None:
+                    continue
+                if subject.startswith("kill: "):
+                    # "kill: {victim-subject} by {writer}" decides the victim.
+                    subject = subject[len("kill: "):].rsplit(" by ", 1)[0]
+                record = by_subject.get(subject)
+                if record is not None:
+                    record.attach_degradation(_asdict(event))
+        reported = eliminated = independent = inexact = 0
+        for record in self.result.provenance:
+            if record.verdict == "reported":
+                reported += 1
+            elif record.verdict == "eliminated":
+                eliminated += 1
+            else:
+                independent += 1
+            if not record.exact:
+                inexact += 1
+        _metrics.inc("omega.precision.records", len(self.result.provenance))
+        _metrics.inc("omega.precision.reported", reported)
+        _metrics.inc("omega.precision.eliminated", eliminated)
+        _metrics.inc("omega.precision.independent", independent)
+        _metrics.inc("omega.precision.inexact", inexact)
 
     def _run_phases(self) -> None:
         writes = self.program.writes()
@@ -263,6 +393,10 @@ class Analyzer:
                     )
                 if deps:
                     self.output_pairs.add((src, dst))
+                elif self.audit is not None:
+                    self.result.provenance.append(
+                        self._independent_record(DependenceKind.OUTPUT, src, dst)
+                    )
                 for dep in deps:
                     if src is dst:
                         self._note_self_output(src, dep)
@@ -278,6 +412,10 @@ class Analyzer:
                     ):
                         self.terminators.setdefault(src, []).append(dep)
                     self.result.output.append(dep)
+                    if self.audit is not None:
+                        self.result.provenance.append(
+                            self._dependence_record(dep)
+                        )
 
     def _note_self_output(self, access: Access, dep: Dependence) -> None:
         levels = self.self_output_nonzero.setdefault(access, set())
@@ -304,6 +442,10 @@ class Analyzer:
                         assertions=self.options.assertions,
                         array_bounds=self.program.array_bounds,
                     )
+                if not deps and self.audit is not None:
+                    self.result.provenance.append(
+                        self._independent_record(DependenceKind.ANTI, src, dst)
+                    )
                 for dep in deps:
                     if self.options.extended and self.options.extend_all_kinds:
                         dep = refine_dependence(
@@ -312,6 +454,10 @@ class Analyzer:
                         if self.options.terminate:
                             dep.covers = terminates_source(dep)
                     self.result.anti.append(dep)
+                    if self.audit is not None:
+                        self.result.provenance.append(
+                            self._dependence_record(dep)
+                        )
 
     def _compute_input_dependences(self, reads: Sequence[Access]) -> None:
         for src in reads:
@@ -320,8 +466,8 @@ class Analyzer:
                     continue
                 if src.statement.position > dst.statement.position:
                     continue
-                self.result.input.extend(
-                    compute_dependences(
+                with _guard.subject(f"input: {src} -> {dst}"):
+                    deps = compute_dependences(
                         src,
                         dst,
                         DependenceKind.INPUT,
@@ -329,7 +475,18 @@ class Analyzer:
                         assertions=self.options.assertions,
                         array_bounds=self.program.array_bounds,
                     )
-                )
+                self.result.input.extend(deps)
+                if self.audit is not None:
+                    if not deps:
+                        self.result.provenance.append(
+                            self._independent_record(
+                                DependenceKind.INPUT, src, dst
+                            )
+                        )
+                    for dep in deps:
+                        self.result.provenance.append(
+                            self._dependence_record(dep)
+                        )
 
     # ------------------------------------------------------------------
     def _compute_flow_dependences(
@@ -348,7 +505,8 @@ class Analyzer:
             self.result.pair_records.extend(sink.pair_records)
             self.result.kill_timings.extend(sink.kill_timings)
             if self.explain is not None and sink.explain is not None:
-                self.explain.decisions.extend(sink.explain.decisions)
+                self.explain.merge(sink.explain)
+            self.result.provenance.extend(sink.provenance)
             self.result.flow.extend(per_read)
 
     def _analyze_read(
@@ -356,7 +514,10 @@ class Analyzer:
     ) -> tuple[list[Dependence], "_ReadSink"]:
         """The complete flow-dependence pipeline for one array read."""
 
-        sink = _ReadSink(ExplainLog() if self.explain is not None else None)
+        sink = _ReadSink(
+            ExplainLog() if self.explain is not None else None,
+            audit=self.audit is not None,
+        )
         tester = KillTester(
             self.symbols,
             self.output_pairs,
@@ -381,6 +542,17 @@ class Analyzer:
                         "kept",
                         "no covering or killing write eliminates it",
                     )
+        if sink.audit:
+            # Records are assembled from the dependences' *final* state —
+            # after cover/terminator/kill elimination.  Independent pairs
+            # come first (in write-scan order), then every dependence of
+            # this read, both deterministic at any workers setting.
+            for src, dst in sink.independents:
+                sink.provenance.append(
+                    self._independent_record(DependenceKind.FLOW, src, dst)
+                )
+            for dep in per_read:
+                sink.provenance.append(self._dependence_record(dep, sink))
         return per_read, sink
 
     def _analyze_pair(
@@ -413,11 +585,23 @@ class Analyzer:
                         )
                         consulted_omega = consulted_omega or outcome.attempted
                         if (
-                            sink.explain is not None
-                            and outcome.dependence is not dep
+                            outcome.dependence is not dep
                             and outcome.dependence.refined
                         ):
-                            self._explain_refinement(outcome.dependence, sink)
+                            if sink.explain is not None:
+                                self._explain_refinement(
+                                    outcome.dependence, sink
+                                )
+                            refined_dep = outcome.dependence
+                            before = ", ".join(
+                                str(v) for v in refined_dep.unrefined_directions
+                            )
+                            sink.note_event(
+                                _subject(refined_dep),
+                                "refine",
+                                f"({before}) -> "
+                                f"({refined_dep.direction_text()})",
+                            )
                         dep = outcome.dependence
                     refined.append(dep)
                 deps = refined
@@ -429,6 +613,10 @@ class Analyzer:
                         dep.covers = covers_destination(
                             dep, use_quick_test=False
                         )
+                        if dep.covers:
+                            sink.note_event(
+                                _subject(dep), "cover", "covers its destination"
+                            )
                         if dep.covers and sink.explain is not None:
                             sink.explain.record(
                                 _subject(dep),
@@ -438,6 +626,8 @@ class Analyzer:
                                 used_omega=True,
                             )
 
+        if not deps and sink.audit:
+            sink.independents.append((write, read))
         if deps:
             _metrics.inc("analysis.dependences_found", len(deps))
         if pair_span.duration:
@@ -504,6 +694,11 @@ class Analyzer:
                     dep.status = DependenceStatus.COVERED
                     dep.eliminated_by = cover
                     _metrics.inc("analysis.deps_covered")
+                    sink.note_event(
+                        _subject(dep),
+                        "cover",
+                        f"eliminated by {_subject(cover)}",
+                    )
                     if sink.explain is not None:
                         sink.explain.record(
                             _subject(dep),
@@ -537,6 +732,11 @@ class Analyzer:
                     dep.status = DependenceStatus.KILLED
                     dep.eliminated_by = terminator
                     _metrics.inc("analysis.deps_killed")
+                    sink.note_event(
+                        _subject(dep),
+                        "terminate",
+                        f"terminated by {_subject(terminator)}",
+                    )
                     if sink.explain is not None:
                         sink.explain.record(
                             _subject(dep),
@@ -579,6 +779,13 @@ class Analyzer:
                     victim.status = DependenceStatus.KILLED
                     victim.eliminated_by = killer
                     _metrics.inc("analysis.deps_killed")
+                    sink.kill_used[_subject(victim)] = record.used_omega
+                    sink.note_event(
+                        _subject(victim),
+                        "kill",
+                        ("general omega test" if record.used_omega else "quick test")
+                        + f" by {_subject(killer)}",
+                    )
                     if sink.explain is not None:
                         sink.explain.record(
                             _subject(victim),

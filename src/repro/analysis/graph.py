@@ -44,20 +44,28 @@ def dependence_graph(
     """The statement-level dependence graph.
 
     Nodes are :class:`~repro.ir.ast.Statement` objects; each edge carries
-    its :class:`Dependence` under the ``"dependence"`` attribute.
+    its :class:`Dependence` under the ``"dependence"`` attribute — and,
+    for audited results, the matching :class:`~repro.obs.ProvenanceRecord`
+    under ``"provenance"`` (None when the run was not audited).
     """
 
     wanted = set(kinds)
     graph = nx.MultiDiGraph()
     for statement in result.program.statements:
         graph.add_node(statement)
+    provenance_index = {
+        record.subject: record for record in result.provenance
+    }
     for dep in result.all_dependences():
         if dep.kind not in wanted:
             continue
         if live_only and dep.status is not DependenceStatus.LIVE:
             continue
         graph.add_edge(
-            dep.src.statement, dep.dst.statement, dependence=dep
+            dep.src.statement,
+            dep.dst.statement,
+            dependence=dep,
+            provenance=provenance_index.get(dep.subject()),
         )
     return graph
 

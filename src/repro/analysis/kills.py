@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..guard import budget as _guard
 from ..ir.ast import Access
+from ..obs.audit import note_conservative as _note_conservative
 from ..obs.instrument import metrics as _metrics
 from ..obs.instrument import span as _span
 from ..omega import Problem, Variable
@@ -204,6 +206,9 @@ class KillTester:
         if not ab_cases or not bc_cases:
             return False
         if len(ab_cases) * len(bc_cases) > self.max_cases:
+            _note_conservative(
+                _guard.current_subject(), "kill-cases-overflow"
+            )
             return False  # conservative
 
         keep = (
@@ -252,6 +257,9 @@ class KillTester:
         pieces: list[Problem] = []
         for projection in projections:
             if not projection.exact_union:
+                _note_conservative(
+                    _guard.current_subject(), "kill-case-dropped"
+                )
                 continue  # drop this case, conservative
             pieces.extend(projection.pieces)
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Sequence
 
+from ..guard import budget as _guard
+from ..obs.audit import note_conservative as _note_conservative
 from ..obs.instrument import metrics as _metrics
 from ..obs.instrument import span as _span
 from ..omega import Problem, Variable
@@ -95,6 +97,11 @@ def _refine(dep: Dependence, partial: bool) -> RefinementOutcome:
     keep = _lhs_keep(dep)
     lhs_projection = project(dep.problem, keep)
     if not lhs_projection.exact_union:
+        # Cannot prove the simplified-test implication from an inexact
+        # union: leave the dependence unrefined, soundly.
+        _note_conservative(
+            _guard.current_subject(), "refine-inexact-projection"
+        )
         return RefinementOutcome(dep, True, 0)
     lhs_pieces = lhs_projection.pieces
 

@@ -8,6 +8,7 @@ from typing import Iterable
 
 from ..guard import DegradationLog
 from ..ir.ast import Access, Program
+from ..obs.audit import AuditLog, ProvenanceRecord
 from ..obs.explain import ExplainLog
 from ..obs.trace import Tracer
 from .dependences import Dependence, DependenceKind, DependenceStatus
@@ -71,6 +72,13 @@ class AnalysisResult:
     kill_timings: list[KillTiming] = field(default_factory=list)
     #: The decision trail, when ``AnalysisOptions(explain=True)``.
     explain: ExplainLog | None = None
+    #: One :class:`repro.obs.ProvenanceRecord` per dependence pair the
+    #: analysis decided (reported, eliminated or proved independent), when
+    #: ``AnalysisOptions(audit=True)``; bit-identical across ``workers``
+    #: and cache settings.
+    provenance: list[ProvenanceRecord] = field(default_factory=list)
+    #: The raw per-subject query footprints behind ``provenance``.
+    audit: AuditLog | None = None
     #: The engine's private tracer, when it had to create one for timing
     #: (``record_timings=True`` with no caller-installed tracer).
     trace: Tracer | None = None
@@ -96,6 +104,20 @@ class AnalysisResult:
         if self.degradations is None:
             return set()
         return self.degradations.subjects()
+
+    # ------------------------------------------------------------------
+    def provenance_for(self, subject: str) -> ProvenanceRecord | None:
+        """The provenance record for one subject tag, if audited."""
+
+        for record in self.provenance:
+            if record.subject == subject:
+                return record
+        return None
+
+    def inexact_records(self) -> list[ProvenanceRecord]:
+        """Audited records whose answer was not exact."""
+
+        return [r for r in self.provenance if not r.exact]
 
     # ------------------------------------------------------------------
     def live_flow(self) -> list[Dependence]:

@@ -29,11 +29,14 @@ from .compare import (
 )
 from .harness import (
     GUARD_OVERHEAD_THRESHOLD,
+    HISTORY_SCHEMA,
     SCHEMA,
     BenchReport,
     LegResult,
     SuiteResult,
+    append_history,
     guard_overhead_gate,
+    history_entry,
     machine_fingerprint,
     profile_suites,
     render_report,
@@ -43,8 +46,11 @@ from .suites import SUITES, Suite, default_suites
 
 __all__ = [
     "GUARD_OVERHEAD_THRESHOLD",
+    "HISTORY_SCHEMA",
     "SCHEMA",
     "DEFAULT_THRESHOLD",
+    "append_history",
+    "history_entry",
     "BenchReport",
     "Comparison",
     "Delta",

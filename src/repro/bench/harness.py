@@ -21,7 +21,9 @@ import json
 import os
 import platform
 import statistics
+import subprocess
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from time import perf_counter
 from typing import Callable, Sequence
 
@@ -33,11 +35,14 @@ from .suites import Suite, default_suites
 
 __all__ = [
     "GUARD_OVERHEAD_THRESHOLD",
+    "HISTORY_SCHEMA",
     "SCHEMA",
     "BenchReport",
     "LegResult",
     "SuiteResult",
+    "append_history",
     "guard_overhead_gate",
+    "history_entry",
     "machine_fingerprint",
     "profile_suites",
     "render_report",
@@ -45,6 +50,9 @@ __all__ = [
 ]
 
 SCHEMA = "repro.bench/1"
+
+#: Schema of one line in ``results/bench_history.jsonl``.
+HISTORY_SCHEMA = "repro.bench-history/1"
 
 #: Legs, in run order.  "on" exercises the memoizing solver facade, "off"
 #: the raw solver — that pair keeps the cache speedup regression-gated —
@@ -182,6 +190,73 @@ class BenchReport:
     def write(self, path) -> None:
         with open(path, "w") as sink:
             sink.write(self.to_json())
+
+
+# ---------------------------------------------------------------------------
+# Bench history: one summary line per run, appended across PRs
+# ---------------------------------------------------------------------------
+
+
+def _git_sha() -> str | None:
+    """The short commit SHA of the working tree, or None outside git."""
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def history_entry(
+    artifact: dict, *, sha: str | None = None, when: str | None = None
+) -> dict:
+    """One ``bench_history.jsonl`` line from a ``repro.bench/1`` artifact.
+
+    A compressed summary — per-suite medians and speedups, the machine
+    fingerprint, the git SHA and an ISO-8601 UTC timestamp — small enough
+    to append on every run, rich enough to plot the perf trajectory.
+    """
+
+    suites = {}
+    for name, suite in sorted(artifact.get("suites", {}).items()):
+        legs = suite.get("legs", {})
+        entry = {
+            leg: round(data["median_s"], 6)
+            for leg, data in sorted(legs.items())
+            if "median_s" in data
+        }
+        summary = {"median_s": entry}
+        for ratio in ("cache_speedup", "workers_speedup", "guard_overhead"):
+            if ratio in suite:
+                summary[ratio] = round(suite[ratio], 4)
+        suites[name] = summary
+    return {
+        "schema": HISTORY_SCHEMA,
+        "when": when
+        or datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "sha": sha if sha is not None else _git_sha(),
+        "machine": artifact.get("machine", {}),
+        "settings": artifact.get("settings", {}),
+        "suites": suites,
+    }
+
+
+def append_history(
+    artifact: dict, path, *, sha: str | None = None, when: str | None = None
+) -> dict:
+    """Append one summary line for ``artifact`` to the history file."""
+
+    entry = history_entry(artifact, sha=sha, when=when)
+    with open(path, "a") as sink:
+        sink.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
 
 
 def _time_leg(

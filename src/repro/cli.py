@@ -31,12 +31,24 @@ Commands
 ``bench``
     Run the benchmark harness over the paper corpus (cache on/off legs,
     warmup + trials, median/IQR) and write the canonical
-    ``BENCH_omega.json`` artifact plus a ``results/`` table.
+    ``BENCH_omega.json`` artifact plus a ``results/`` table, appending a
+    one-line summary to ``results/bench_history.jsonl``.
     ``--compare OLD.json`` gates the run against a baseline artifact
     (nonzero exit on a median regression past ``--threshold``);
     ``--against NEW.json`` compares two existing artifacts without
     running; ``--profile`` adds a traced hotspot pass with
     collapsed-stack (flamegraph) export.
+
+``audit [FILE]``
+    The precision scoreboard: flow-dependence pairs reported by each
+    classical baseline (ZIV, SIV, GCD, Banerjee, combined) vs the Omega
+    pipeline, with the false-dependence elimination rate and the
+    exact-vs-inexact provenance breakdown.  Without FILE it audits the
+    whole corpus and writes ``results/precision_omega.json`` (schema
+    ``repro.precision/1``).  ``--gate OLD.json`` fails when precision
+    regressed against a committed artifact; ``--diff A B`` compares two
+    existing artifacts without running; ``--why SRC DST`` (with FILE)
+    prints one pair's provenance trail, degradations included.
 """
 
 from __future__ import annotations
@@ -115,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the metrics summary (and cache counters) after the tables",
+    )
+    analyze_cmd.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "record per-dependence provenance (adds omega.precision.* to "
+            "--stats and a provenance section to --json)"
+        ),
     )
     analyze_cmd.add_argument(
         "--no-cache",
@@ -262,6 +282,90 @@ def build_parser() -> argparse.ArgumentParser:
         default=pathlib.Path("results"),
         help="directory for the human-readable tables (default: results/)",
     )
+    bench_cmd.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending to results/bench_history.jsonl",
+    )
+
+    audit_cmd = commands.add_parser(
+        "audit",
+        help="precision scoreboard: baselines vs Omega, with the CI gate",
+    )
+    audit_cmd.add_argument(
+        "file",
+        nargs="?",
+        type=pathlib.Path,
+        help="program to audit (default: the whole paper corpus)",
+    )
+    audit_cmd.add_argument(
+        "-o",
+        "--out",
+        type=pathlib.Path,
+        metavar="PATH",
+        help=(
+            "artifact output path (default: results/precision_omega.json "
+            "for corpus runs; single-file runs write only when given)"
+        ),
+    )
+    audit_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the artifact JSON instead of the scoreboard table",
+    )
+    audit_cmd.add_argument(
+        "--gate",
+        type=pathlib.Path,
+        metavar="OLD.json",
+        help=(
+            "gate this run against a committed precision artifact; exit "
+            "nonzero when the elimination rate drops or an exact answer "
+            "becomes inexact"
+        ),
+    )
+    audit_cmd.add_argument(
+        "--diff",
+        nargs=2,
+        type=pathlib.Path,
+        metavar=("A.json", "B.json"),
+        help="compare two existing precision artifacts, skip the run",
+    )
+    audit_cmd.add_argument(
+        "--why",
+        nargs=2,
+        metavar=("SRC", "DST"),
+        help=(
+            "with FILE: print the provenance trail for one access pair "
+            "(accepts access strings or bare statement labels)"
+        ),
+    )
+    audit_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="solver worker threads (provenance is identical at any setting)",
+    )
+    audit_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the solver cache (provenance is identical either way)",
+    )
+    audit_cmd.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "with --why: run under a wall-clock budget so degraded pairs "
+            "show their degradation events in the trail"
+        ),
+    )
+    audit_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --deadline-ms: raise on budget exhaustion instead",
+    )
     return parser
 
 
@@ -276,6 +380,7 @@ def _cmd_analyze(args) -> int:
         partial_refine=args.partial_refine,
         assertions=tuple(parse_assertion(text) for text in args.assertions),
         explain=args.explain,
+        audit=args.audit,
     )
     if args.no_cache:
         options.cache = False
@@ -436,6 +541,12 @@ def _cmd_bench(args) -> int:
     print(f"artifact written to {args.out}", file=sys.stderr)
 
     args.results_dir.mkdir(parents=True, exist_ok=True)
+    if not args.no_history:
+        from .bench import append_history
+
+        history_path = args.results_dir / "bench_history.jsonl"
+        append_history(report.to_dict(), history_path)
+        print(f"history appended to {history_path}", file=sys.stderr)
     table = render_report(report)
     (args.results_dir / "bench_omega.txt").write_text(table)
     print(table)
@@ -465,6 +576,95 @@ def _cmd_bench(args) -> int:
     return 0 if guard_ok else 1
 
 
+def _cmd_audit(args) -> int:
+    import json as _json
+
+    from .obs.audit import ProvenanceRecord
+    from .reporting import (
+        compare_precision,
+        load_precision,
+        precision_report,
+        render_precision,
+        why_records,
+    )
+
+    if args.diff is not None:
+        old_path, new_path = args.diff
+        comparison = compare_precision(
+            load_precision(old_path), load_precision(new_path)
+        )
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+
+    if args.why is not None:
+        if args.file is None:
+            print("--why requires a program FILE", file=sys.stderr)
+            return 2
+        program = _load(args.file)
+        options = AnalysisOptions(audit=True)
+        if args.no_cache:
+            options.cache = False
+        if args.workers is not None:
+            options.workers = args.workers
+        if args.deadline_ms is not None:
+            options.deadline_ms = args.deadline_ms
+        if args.strict:
+            options.policy = "raise"
+        try:
+            result = analyze(program, options)
+        except BudgetExhausted as failure:
+            print(f"error: {failure}", file=sys.stderr)
+            return 2
+        src, dst = args.why
+        records = why_records(result, src, dst)
+        if not records:
+            print(
+                f"no provenance for pair {src!r} -> {dst!r} "
+                f"(accesses: {', '.join(str(a) for a in program.accesses())})",
+                file=sys.stderr,
+            )
+            return 2
+        # Round-trip through JSON: what --why prints is exactly what a
+        # serialized artifact (or --json consumer) would reconstruct,
+        # degradation events included.
+        for index, record in enumerate(records):
+            if index:
+                print()
+            replayed = ProvenanceRecord.from_dict(
+                _json.loads(_json.dumps(record.to_dict()))
+            )
+            print(replayed.describe())
+        return 0
+
+    workers = args.workers if args.workers is not None else 1
+    cache = False if args.no_cache else None
+    if args.file is not None:
+        programs = [_load(args.file)]
+        out = args.out
+    else:
+        programs = None  # the whole corpus
+        out = args.out or pathlib.Path("results/precision_omega.json")
+    artifact = precision_report(
+        programs,
+        workers=workers,
+        cache=cache,
+        progress=lambda name: print(f"audit: {name}", file=sys.stderr),
+    )
+    if args.json:
+        print(_json.dumps(artifact, indent=2))
+    else:
+        print(render_precision(artifact))
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(artifact, indent=2) + "\n")
+        print(f"artifact written to {out}", file=sys.stderr)
+    if args.gate is not None:
+        comparison = compare_precision(load_precision(args.gate), artifact)
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+    return 0
+
+
 def _cmd_cholsky(_args) -> int:
     from .programs import cholsky
 
@@ -484,6 +684,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "queries": _cmd_queries,
         "cholsky": _cmd_cholsky,
         "bench": _cmd_bench,
+        "audit": _cmd_audit,
     }
     return handlers[args.command](args)
 

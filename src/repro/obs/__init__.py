@@ -72,6 +72,16 @@ def off() -> bool:
     return not _trace_state.tracers and not _metric_registries.stack
 
 
+# Imported after ``off`` is defined: ``audit`` pulls in ``instrument``,
+# which reads ``off`` from this package at import time.
+from .audit import (  # noqa: E402
+    AuditLog,
+    ProvenanceRecord,
+    QueryFootprint,
+    auditing,
+    current_audit,
+)
+
 __all__ = [
     "off",
     # trace
@@ -102,4 +112,10 @@ __all__ = [
     # explain
     "Decision",
     "ExplainLog",
+    # audit
+    "AuditLog",
+    "ProvenanceRecord",
+    "QueryFootprint",
+    "auditing",
+    "current_audit",
 ]

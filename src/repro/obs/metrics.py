@@ -106,6 +106,12 @@ CATALOG: tuple[str, ...] = (
     "analysis.kill_omega_tests",
     "analysis.deps_killed",
     "analysis.deps_covered",
+    # Precision audit (repro.obs.audit; AnalysisOptions(audit=True)).
+    "omega.precision.records",
+    "omega.precision.reported",
+    "omega.precision.eliminated",
+    "omega.precision.independent",
+    "omega.precision.inexact",
 )
 
 #: Well-known latency histograms (seconds), fed from span durations at the

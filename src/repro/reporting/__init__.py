@@ -1,6 +1,18 @@
 """Regeneration of the paper's evaluation figures and tables."""
 
 from .figures import ascii_scatter, comparison_table, figure6_text, figure7_text
+from .precision import (
+    BASELINES,
+    PrecisionComparison,
+    audit_program,
+    baseline_verdicts,
+    compare_precision,
+    load_precision,
+    precision_markdown_table,
+    precision_report,
+    render_precision,
+    why_records,
+)
 from .serialize import dependence_to_dict, result_to_dict, result_to_json
 from .tables import DependenceRow, flow_rows, flow_tables, format_rows
 from .timing import (
@@ -28,4 +40,15 @@ __all__ = [
     "dependence_to_dict",
     "result_to_dict",
     "result_to_json",
+    # precision
+    "BASELINES",
+    "PrecisionComparison",
+    "audit_program",
+    "baseline_verdicts",
+    "compare_precision",
+    "load_precision",
+    "precision_markdown_table",
+    "precision_report",
+    "render_precision",
+    "why_records",
 ]

@@ -68,6 +68,11 @@ def result_to_dict(result: AnalysisResult) -> dict[str, Any]:
         "output": [dependence_to_dict(d) for d in result.output],
         "input": [dependence_to_dict(d) for d in result.input],
         "counts": result.counts(),
+        "provenance": (
+            [record.to_dict() for record in result.provenance]
+            if result.provenance
+            else None
+        ),
         "degraded": result.degraded(),
         "degradations": (
             [

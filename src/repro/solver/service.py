@@ -56,8 +56,10 @@ from ..guard import faults as _faults
 from ..guard.faults import FaultInjected
 from ..obs import instrument as _instr
 from ..obs import off as _obs_off
+from ..obs.audit import current_audit as _current_audit
 from ..obs.instrument import metrics as _metrics
 from ..obs.instrument import span as _span
+from ..omega.project import Projection
 from ..omega import cache as _ocache
 from ..omega.cache import MISSING, Raised, SolverCache, unwrap
 from ..omega.constraints import Problem
@@ -413,6 +415,35 @@ class SolverService:
         with gov.fresh_query():
             return self._evaluate(key, fn, *args)
 
+    @staticmethod
+    def _note_audit(kind: str, value) -> None:
+        """Note one settled query outcome on the active audit log.
+
+        Fires once per query *call* — after the value materialized,
+        whether it was computed, replayed from the memo or awaited in
+        flight — keyed on the guard subject active at the call site.
+        That placement is what makes audit footprints identical across
+        worker counts and cache configurations: hit patterns change,
+        call sites do not.
+        """
+
+        log = _current_audit()
+        if log is None:
+            return
+        subject = _guard.current_subject()
+        if isinstance(value, Raised):
+            log.note_query(subject, kind, exact=False, reason="complexity")
+        elif isinstance(value, Projection):
+            log.note_query(
+                subject,
+                kind,
+                exact=value.exact_union,
+                reason="inexact-projection",
+                splintered=value.splintered,
+            )
+        else:
+            log.note_query(subject, kind)
+
     def _degrade(self, kind: str, fallback: Callable, answer: str, failure):
         """Apply the degradation policy to an exhausted query.
 
@@ -429,6 +460,11 @@ class SolverService:
         value = fallback()
         self.degraded += 1
         gov.note_degradation(kind=kind, answer=answer, failure=failure)
+        log = _current_audit()
+        if log is not None:
+            log.note_conservative(
+                _guard.current_subject(), f"degraded-{kind}"
+            )
         if not _obs_off():
             with _span(
                 "guard.degraded",
@@ -446,9 +482,21 @@ class SolverService:
         """A scalar query with the degradation shield around it."""
 
         try:
-            return self._governed_evaluate(key, fn, args)
+            value = self._governed_evaluate(key, fn, args)
         except BudgetExhausted as failure:
             return self._degrade(kind, fallback, answer, failure)
+        except OmegaComplexityError:
+            log = _current_audit()
+            if log is not None:
+                log.note_query(
+                    _guard.current_subject(),
+                    kind,
+                    exact=False,
+                    reason="complexity",
+                )
+            raise
+        self._note_audit(kind, value)
+        return value
 
     def _protected(
         self,
@@ -601,6 +649,10 @@ class SolverService:
         failure: Raised | None = None
         for cell in keyed:
             entry = computed[index_of[cell[0]]]
+            # Audit noting happens here, per submitted cell (duplicates
+            # included) on the submitting thread — the same set of notes a
+            # serial run of the same calls would leave.
+            self._note_audit(cell[3] if len(cell) > 3 else "query", entry)
             if isinstance(entry, Raised) and failure is None:
                 failure = entry
             results.append(entry)

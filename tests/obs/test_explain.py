@@ -76,3 +76,54 @@ class TestEngineIntegration:
         text = result.explain.render()
         assert "Decision trail" in text
         assert "[by flow:" in text
+
+
+class TestMergeDeterminism:
+    """Satellite of the audit PR: explain trails must not depend on the
+    worker count — per-read logs are merged in program (read) order."""
+
+    def test_merge_extends_in_call_order(self):
+        a = ExplainLog()
+        a.record("s1", "kept", "first")
+        b = ExplainLog()
+        b.record("s2", "killed", "second", by="s3")
+        b.record("s2", "covers", "third")
+        merged = a.merge(b)
+        assert merged is a
+        assert [d.reason for d in a] == ["first", "second", "third"]
+
+    def test_merge_empty_is_noop(self):
+        log = ExplainLog()
+        log.record("s", "kept", "why")
+        log.merge(ExplainLog())
+        assert [d.reason for d in log] == ["why"]
+
+    @staticmethod
+    def _trail(workers):
+        result = analyze(
+            parse(KILL_PROGRAM, "kill"),
+            AnalysisOptions(explain=True, workers=workers),
+        )
+        return [
+            (d.subject, d.action, d.reason, d.by, d.used_omega)
+            for d in result.explain
+        ]
+
+    def test_trail_identical_across_worker_counts(self):
+        assert self._trail(1) == self._trail(4)
+
+    def test_trail_identical_on_corpus_program(self):
+        from repro.programs import corpus_programs
+
+        program = corpus_programs()[0]
+
+        def trail(workers):
+            result = analyze(
+                program, AnalysisOptions(explain=True, workers=workers)
+            )
+            return [
+                (d.subject, d.action, d.reason, d.by, d.used_omega)
+                for d in result.explain
+            ]
+
+        assert trail(1) == trail(4)

@@ -1,0 +1,172 @@
+"""Precision scoreboard and gate tests (repro.reporting.precision)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.ir import parse
+from repro.programs import corpus_programs
+from repro.reporting import (
+    BASELINES,
+    audit_program,
+    baseline_verdicts,
+    compare_precision,
+    load_precision,
+    precision_markdown_table,
+    precision_report,
+    render_precision,
+    why_records,
+)
+from repro.reporting.precision import SCHEMA
+
+KILL_PROGRAM = """
+a(n) :=
+for i := n to n+10 do a(i) :=
+for i := n to n+20 do := a(i)
+"""
+
+
+@pytest.fixture(scope="module")
+def kill_program():
+    return parse(KILL_PROGRAM, "kill")
+
+
+@pytest.fixture(scope="module")
+def artifact(kill_program):
+    return precision_report([kill_program, corpus_programs()[0]])
+
+
+class TestBaselineVerdicts:
+    def test_distinct_arrays_refute_everything(self, kill_program):
+        writes = kill_program.writes()
+        reads = kill_program.reads()
+        verdicts = baseline_verdicts(writes[0], reads[0])
+        assert set(verdicts) == set(BASELINES)
+        assert all(isinstance(v, bool) for v in verdicts.values())
+
+    def test_overlapping_pair_reported_by_combined(self, kill_program):
+        # s2 writes a(i) over n..n+10; s3 reads a(i) over n..n+20 — every
+        # classical test must conservatively report the flow dependence.
+        write = kill_program.writes()[1]
+        read = kill_program.reads()[0]
+        verdicts = baseline_verdicts(write, read)
+        assert verdicts["combined"]
+        assert verdicts["gcd"]
+
+
+class TestAuditProgram:
+    def test_section_shape(self, kill_program):
+        section, result = audit_program(kill_program)
+        assert section["program"] == "kill"
+        assert section["pairs"] == 2
+        assert set(section["baselines"]) == set(BASELINES)
+        omega = section["omega"]
+        # The kill eliminates one of the two standard flow pairs.
+        assert omega["standard"] == 2
+        assert omega["live"] == 1
+        assert omega["records"]["eliminated"] == 1
+        assert omega["stages"].get("kill") == 1
+        assert omega["exact"] + omega["inexact"] == sum(
+            omega["records"].values()
+        )
+        assert result.provenance
+
+    def test_baselines_never_beat_their_own_pair_count(self, kill_program):
+        section, _ = audit_program(kill_program)
+        for name in BASELINES:
+            assert 0 <= section["baselines"][name] <= section["pairs"]
+
+
+class TestPrecisionReport:
+    def test_artifact_schema_and_totals(self, artifact):
+        assert artifact["schema"] == SCHEMA
+        assert [s["program"] for s in artifact["programs"]] == [
+            "kill",
+            "CHOLSKY",
+        ]
+        totals = artifact["totals"]
+        assert totals["pairs"] == sum(
+            s["pairs"] for s in artifact["programs"]
+        )
+        assert totals["omega_live"] <= totals["omega_standard"]
+        assert 0.0 <= totals["elimination_rate"] <= 1.0
+        assert set(totals["false_dependence_rate"]) == set(BASELINES)
+
+    def test_artifact_is_bit_stable(self, kill_program):
+        first = precision_report([kill_program])
+        second = precision_report([kill_program])
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_artifact_has_no_timestamps(self, artifact):
+        text = json.dumps(artifact)
+        for banned in ("when", "timestamp", "machine"):
+            assert f'"{banned}"' not in text
+
+    def test_render_and_markdown(self, artifact):
+        text = render_precision(artifact)
+        assert "precision scoreboard" in text
+        assert "CHOLSKY" in text
+        assert "TOTAL" in text
+        table = precision_markdown_table(artifact)
+        assert table.startswith("| program ")
+        assert "**corpus total**" in table
+        only = precision_markdown_table(artifact, names=["kill"])
+        assert "CHOLSKY" not in only and "corpus total" not in only
+
+
+class TestPrecisionGate:
+    def test_identical_artifacts_pass(self, artifact):
+        comparison = compare_precision(artifact, artifact)
+        assert comparison.ok
+        assert "gate: PASS" in comparison.render()
+
+    def test_more_live_pairs_fails(self, artifact):
+        worse = copy.deepcopy(artifact)
+        worse["programs"][0]["omega"]["live"] += 1
+        comparison = compare_precision(artifact, worse)
+        assert not comparison.ok
+        text = comparison.render()
+        assert "REGRESSED" in text and "gate: FAIL" in text
+        assert "live pairs" in comparison.regressions[0].what
+
+    def test_new_inexact_record_fails(self, artifact):
+        worse = copy.deepcopy(artifact)
+        worse["programs"][1]["omega"]["inexact"] += 1
+        comparison = compare_precision(artifact, worse)
+        assert not comparison.ok
+        assert comparison.regressions[0].what == "inexact records"
+
+    def test_dropped_program_fails(self, artifact):
+        partial = copy.deepcopy(artifact)
+        partial["programs"] = partial["programs"][:1]
+        comparison = compare_precision(artifact, partial)
+        assert not comparison.ok
+        assert comparison.missing == ["CHOLSKY"]
+        assert "MISSING" in comparison.render()
+
+    def test_improvement_passes(self, artifact):
+        better = copy.deepcopy(artifact)
+        if better["programs"][1]["omega"]["live"] > 0:
+            better["programs"][1]["omega"]["live"] -= 1
+        assert compare_precision(artifact, better).ok
+
+    def test_load_precision_round_trip(self, artifact, tmp_path):
+        path = tmp_path / "precision.json"
+        path.write_text(json.dumps(artifact))
+        assert load_precision(path) == artifact
+
+
+class TestWhyRecords:
+    def test_exact_and_substring_matching(self, kill_program):
+        result = analyze(kill_program, AnalysisOptions(audit=True))
+        by_label = why_records(result, "s1", "s3")
+        assert by_label
+        record = by_label[0]
+        assert record.verdict == "eliminated"
+        # Exact access strings find the same records.
+        assert why_records(result, record.src, record.dst) == by_label
+        assert why_records(result, "s9", "s3") == []

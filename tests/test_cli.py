@@ -393,3 +393,151 @@ class TestRobustness:
         assert data["degraded"] is True
         assert data["degradations"]
         assert all(entry["site"] for entry in data["degradations"])
+
+
+class TestBenchHistory:
+    def test_bench_appends_history_line(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        args = [
+            "bench", "--suite", "symbolic", "--trials", "1", "--warmup", "0",
+            "--out", str(tmp_path / "b.json"), "--results-dir", str(results),
+        ]
+        assert main(args) == 0
+        history = results / "bench_history.jsonl"
+        assert "history appended" in capsys.readouterr().err
+        lines = history.read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["schema"] == "repro.bench-history/1"
+        assert "symbolic" in entry["suites"]
+        assert entry["when"]
+        # A second run appends, never overwrites.
+        assert main(args) == 0
+        assert len(history.read_text().splitlines()) == 2
+
+    def test_no_history_flag_skips_append(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        assert main(
+            [
+                "bench", "--suite", "symbolic", "--trials", "1",
+                "--warmup", "0", "--no-history",
+                "--out", str(tmp_path / "b.json"),
+                "--results-dir", str(results),
+            ]
+        ) == 0
+        assert not (results / "bench_history.jsonl").exists()
+        assert "history appended" not in capsys.readouterr().err
+
+
+class TestAuditCommand:
+    def test_audit_file_writes_scoreboard(self, program_file, tmp_path, capsys):
+        out = tmp_path / "precision.json"
+        assert main(
+            ["audit", str(program_file), "--out", str(out)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "precision scoreboard" in captured.out
+        assert "TOTAL" in captured.out
+        artifact = json.loads(out.read_text())
+        assert artifact["schema"] == "repro.precision/1"
+        section = artifact["programs"][0]
+        assert section["omega"]["standard"] == 2
+        assert section["omega"]["live"] == 1
+        assert section["baselines"]["combined"] >= 1
+
+    def test_audit_json_prints_artifact(self, program_file, capsys):
+        assert main(["audit", str(program_file), "--json"]) == 0
+        artifact = json.loads(capsys.readouterr().out)
+        assert artifact["schema"] == "repro.precision/1"
+
+    def test_audit_why_prints_provenance(self, program_file, capsys):
+        assert main(["audit", str(program_file), "--why", "s1", "s3"]) == 0
+        out = capsys.readouterr().out
+        assert "eliminated by" in out
+        assert "stage: kill" in out
+        assert "omega queries:" in out
+
+    def test_audit_why_unknown_pair(self, program_file, capsys):
+        assert main(["audit", str(program_file), "--why", "s9", "s3"]) == 2
+        assert "no provenance" in capsys.readouterr().err
+
+    def test_audit_why_requires_file(self, capsys):
+        assert main(["audit", "--why", "s1", "s3"]) == 2
+        assert "requires a program FILE" in capsys.readouterr().err
+
+    def test_audit_gate_passes_against_fresh_artifact(
+        self, program_file, tmp_path, capsys
+    ):
+        committed = tmp_path / "committed.json"
+        assert main(
+            ["audit", str(program_file), "--out", str(committed)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "audit", str(program_file),
+                "--out", str(tmp_path / "fresh.json"),
+                "--gate", str(committed),
+            ]
+        ) == 0
+        assert "gate: PASS" in capsys.readouterr().out
+
+    def test_audit_gate_fails_on_seeded_regression(
+        self, program_file, tmp_path, capsys
+    ):
+        committed = tmp_path / "committed.json"
+        assert main(
+            ["audit", str(program_file), "--out", str(committed)]
+        ) == 0
+        capsys.readouterr()
+        # Seed a regression: pretend the committed run reported fewer
+        # live pairs than the tree now produces.
+        artifact = json.loads(committed.read_text())
+        artifact["programs"][0]["omega"]["live"] -= 1
+        committed.write_text(json.dumps(artifact))
+        assert main(
+            [
+                "audit", str(program_file),
+                "--out", str(tmp_path / "fresh.json"),
+                "--gate", str(committed),
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "gate: FAIL" in out and "REGRESSED" in out
+
+    def test_audit_diff_two_artifacts(self, program_file, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        assert main(["audit", str(program_file), "--out", str(a)]) == 0
+        capsys.readouterr()
+        assert main(["audit", "--diff", str(a), str(a)]) == 0
+        assert "gate: PASS" in capsys.readouterr().out
+
+    def test_audit_workers_and_cache_flags_are_bit_identical(
+        self, program_file, tmp_path
+    ):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(["audit", str(program_file), "--out", str(serial)]) == 0
+        assert main(
+            [
+                "audit", str(program_file), "--workers", "4", "--no-cache",
+                "--out", str(parallel),
+            ]
+        ) == 0
+        left = json.loads(serial.read_text())
+        right = json.loads(parallel.read_text())
+        assert left["programs"] == right["programs"]
+
+    def test_analyze_audit_flag(self, program_file, capsys):
+        assert main(["analyze", str(program_file), "--audit"]) == 0
+
+    def test_stats_surfaces_precision_metrics(self, program_file, capsys):
+        assert main(
+            ["analyze", str(program_file), "--audit", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "omega.precision.records" in out
+        import re
+
+        match = re.search(r"omega\.precision\.records\s+(\d+)", out)
+        assert match is not None and int(match.group(1)) > 0
