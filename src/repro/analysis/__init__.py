@@ -21,6 +21,7 @@ from .graph import (
     vectorizable_statements,
 )
 from .kills import KillTester, kill_quick_reject
+from .plan import QueryPlan, default_planner_enabled
 from .problem import (
     PairProblem,
     SymbolTable,
@@ -75,6 +76,8 @@ __all__ = [
     "cover_quick_reject",
     "KillTester",
     "kill_quick_reject",
+    "QueryPlan",
+    "default_planner_enabled",
     "PairProblem",
     "SymbolTable",
     "build_pair_problem",

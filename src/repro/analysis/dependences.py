@@ -146,21 +146,36 @@ def compute_dependences(
     assertions: Iterable[Constraint] = (),
     array_bounds=None,
     want_directions: bool = True,
+    plan=None,
 ) -> list[Dependence]:
     """All dependences of ``kind`` from src to dst (one per restraint vector).
 
     Returns an empty list when the pair problem has no lexicographically
     forward solutions — i.e. there is no dependence.
+
+    ``plan`` (a :class:`repro.analysis.plan.QueryPlan`) supplies shared
+    instance contexts and an exactly-reduced elimination prefix for the
+    satisfiability probes.  The questions asked — count, kind and order —
+    and their answers are identical with or without a plan; only the
+    submitted problems shrink.  The :class:`Dependence` objects always
+    carry the *full* constrained problems, since downstream refinement,
+    cover and kill tests project them.
     """
 
-    pair = build_pair_problem(
-        src, dst, symbols, assertions=assertions, array_bounds=array_bounds
-    )
+    if plan is not None:
+        pair = plan.pair_problem(src, dst)
+    else:
+        pair = build_pair_problem(
+            src, dst, symbols, assertions=assertions, array_bounds=array_bounds
+        )
     base = pair.full()
-    if not is_satisfiable(base):
+    state = None if plan is None else plan.prepare(base, pair.delta_vars)
+    if not is_satisfiable(base if state is None else state.probe()):
         return []
 
-    restraints = restraint_vectors(base, pair.delta_vars, pair.forward)
+    restraints = restraint_vectors(
+        base, pair.delta_vars, pair.forward, state=state
+    )
     constrained_problems = [
         Problem(
             list(base.constraints) + restraint.constraints(pair.delta_vars),
@@ -168,7 +183,14 @@ def compute_dependences(
         )
         for restraint in restraints
     ]
-    feasible = satisfiable_batch(constrained_problems)
+    if state is None:
+        probes = constrained_problems
+    else:
+        probes = [
+            state.probe(restraint.constraints(pair.delta_vars))
+            for restraint in restraints
+        ]
+    feasible = satisfiable_batch(probes)
     found: list[Dependence] = []
     for restraint, constrained, satisfiable in zip(
         restraints, constrained_problems, feasible
@@ -177,9 +199,16 @@ def compute_dependences(
             continue
         directions: list[DirectionVector] = []
         if want_directions:
+            constrained_state = (
+                None
+                if state is None
+                else state.extend(restraint.constraints(pair.delta_vars))
+            )
             directions = [
                 v
-                for v in direction_vectors(constrained, pair.delta_vars)
+                for v in direction_vectors(
+                    constrained, pair.delta_vars, state=constrained_state
+                )
                 if _forward_vector(v, pair.forward)
             ]
             if pair.delta_vars and not directions:

@@ -54,6 +54,7 @@ from .dependences import (
     compute_dependences,
 )
 from .kills import KillTester, kill_quick_reject
+from .plan import QueryPlan, default_planner_enabled
 from .problem import SymbolTable, common_depth
 from .refine import refine_dependence
 from .results import AnalysisResult, KillTiming, PairCategory, PairRecord
@@ -81,6 +82,11 @@ class _ReadSink:
     pair_records: list[PairRecord] = field(default_factory=list)
     kill_timings: list[KillTiming] = field(default_factory=list)
     provenance: list[ProvenanceRecord] = field(default_factory=list)
+    #: Planned (fused) traversal only: this read's anti dependences and
+    #: their provenance, computed in the same task as the flow pipeline
+    #: and merged back read-major — the legacy anti-phase order.
+    anti: list[Dependence] = field(default_factory=list)
+    anti_provenance: list[ProvenanceRecord] = field(default_factory=list)
     #: Flow pairs the Omega test proved independent: (write, read).
     independents: list[tuple[Access, Access]] = field(default_factory=list)
     #: Per-subject decision trail, appended in pipeline order.
@@ -158,6 +164,14 @@ class AnalysisOptions:
     #: ``result.degradations``; ``"raise"`` (the CLI's ``--strict``)
     #: propagates :class:`repro.omega.BudgetExhausted` to the caller.
     policy: str = "degrade"
+    #: Single-pass query planner (:mod:`repro.analysis.plan`): group pairs
+    #: by iteration space, share base constraint systems and exact
+    #: Fourier-Motzkin prefixes across the whole-program traversal.
+    #: Results, provenance and explain trails are bit-identical to the
+    #: legacy per-pair path.  Defaults to on unless ``REPRO_PLANNER=0``;
+    #: governed runs (a budget, deadline or fault plan) always fall back
+    #: to the legacy path so degradation semantics stay untouched.
+    planner: bool = field(default_factory=default_planner_enabled)
 
     def effective_budget(self) -> "Budget | None":
         """The merged budget, or None when this run is ungoverned."""
@@ -200,6 +214,9 @@ class Analyzer:
         #: The solver service every query of this run goes through (set by
         #: :meth:`run`; adopted or private, see there).
         self.service: SolverService | None = None
+        #: The single-pass query plan (set by :meth:`run` for ungoverned
+        #: planner runs; None selects the legacy per-pair pipeline).
+        self.plan: QueryPlan | None = None
 
     # ------------------------------------------------------------------
     def run(self) -> AnalysisResult:
@@ -246,6 +263,18 @@ class Analyzer:
                 )
             if self.audit is not None:
                 stack.enter_context(_auditing(self.audit))
+            # The query planner drives ungoverned runs only: under a
+            # budget the per-probe degradation shields expect the legacy
+            # problem shapes, so governed runs keep the per-pair path.
+            if self.options.planner and budget is None:
+                self.plan = QueryPlan(
+                    self.program,
+                    self.symbols,
+                    assertions=self.options.assertions,
+                    array_bounds=self.program.array_bounds,
+                )
+            elif self.options.planner:
+                _metrics.inc("solver.plan.fallbacks")
             with _span("analysis.analyze", program=self.program.name) as sp:
                 self._run_phases()
             if self.audit is not None:
@@ -366,6 +395,9 @@ class Analyzer:
         writes = self.program.writes()
         reads = self.program.reads()
 
+        if self.plan is not None:
+            self._run_planned_phases(writes, reads)
+            return
         with _span("analysis.phase.output"):
             self._compute_output_dependences(writes)
         with _span("analysis.phase.anti"):
@@ -375,6 +407,82 @@ class Analyzer:
         if self.options.input_deps:
             with _span("analysis.phase.input"):
                 self._compute_input_dependences(reads)
+
+    def _run_planned_phases(
+        self, writes: Sequence[Access], reads: Sequence[Access]
+    ) -> None:
+        """The single-pass plan-driven traversal.
+
+        Output dependences still come first (they feed the kill and
+        refinement quick tests), but the anti and flow directions of each
+        read are fused into *one* task over the plan's shared state, so a
+        read's backward and forward pairs reuse the same base systems and
+        elimination prefixes while they are hot.  Sinks are merged back in
+        read order — all anti results first, then the flow pipelines —
+        reproducing the legacy phase order bit for bit.
+        """
+
+        with _span("analysis.phase.output"):
+            self._compute_output_dependences(writes)
+        with _span("analysis.phase.fused"):
+            outcomes = self.service.map(
+                lambda read: self._analyze_read_fused(read, writes), reads
+            )
+        for _per_read, sink in outcomes:
+            self.result.anti.extend(sink.anti)
+            self.result.provenance.extend(sink.anti_provenance)
+        for per_read, sink in outcomes:
+            self.result.pair_records.extend(sink.pair_records)
+            self.result.kill_timings.extend(sink.kill_timings)
+            if self.explain is not None and sink.explain is not None:
+                self.explain.merge(sink.explain)
+            self.result.provenance.extend(sink.provenance)
+            self.result.flow.extend(per_read)
+        if self.options.input_deps:
+            with _span("analysis.phase.input"):
+                self._compute_input_dependences(reads)
+        # The whole-program graph is the unit consumers want; emit it
+        # directly while the traversal's results are final and hot.
+        with _span("analysis.graph"):
+            self.result.graph()
+
+    def _analyze_read_fused(
+        self, read: Access, writes: Sequence[Access]
+    ) -> tuple[list[Dependence], "_ReadSink"]:
+        """Both dependence directions of one read, in one plan-driven task."""
+
+        sink = _ReadSink(
+            ExplainLog() if self.explain is not None else None,
+            audit=self.audit is not None,
+        )
+        for dst in writes:
+            if read.array != dst.array:
+                continue
+            with _guard.subject(f"anti: {read} -> {dst}"):
+                deps = compute_dependences(
+                    read,
+                    dst,
+                    DependenceKind.ANTI,
+                    self.symbols,
+                    assertions=self.options.assertions,
+                    array_bounds=self.program.array_bounds,
+                    plan=self.plan,
+                )
+            if not deps and self.audit is not None:
+                sink.anti_provenance.append(
+                    self._independent_record(DependenceKind.ANTI, read, dst)
+                )
+            for dep in deps:
+                if self.options.extended and self.options.extend_all_kinds:
+                    dep = refine_dependence(
+                        dep, partial=self.options.partial_refine
+                    ).dependence
+                    if self.options.terminate:
+                        dep.covers = terminates_source(dep)
+                sink.anti.append(dep)
+                if self.audit is not None:
+                    sink.anti_provenance.append(self._dependence_record(dep))
+        return self._analyze_read(read, writes, sink)
 
     # ------------------------------------------------------------------
     def _compute_output_dependences(self, writes: Sequence[Access]) -> None:
@@ -390,6 +498,7 @@ class Analyzer:
                         self.symbols,
                         assertions=self.options.assertions,
                         array_bounds=self.program.array_bounds,
+                        plan=self.plan,
                     )
                 if deps:
                     self.output_pairs.add((src, dst))
@@ -441,6 +550,7 @@ class Analyzer:
                         self.symbols,
                         assertions=self.options.assertions,
                         array_bounds=self.program.array_bounds,
+                        plan=self.plan,
                     )
                 if not deps and self.audit is not None:
                     self.result.provenance.append(
@@ -474,6 +584,7 @@ class Analyzer:
                         self.symbols,
                         assertions=self.options.assertions,
                         array_bounds=self.program.array_bounds,
+                        plan=self.plan,
                     )
                 self.result.input.extend(deps)
                 if self.audit is not None:
@@ -510,14 +621,15 @@ class Analyzer:
             self.result.flow.extend(per_read)
 
     def _analyze_read(
-        self, read: Access, writes: Sequence[Access]
+        self, read: Access, writes: Sequence[Access], sink: "_ReadSink | None" = None
     ) -> tuple[list[Dependence], "_ReadSink"]:
         """The complete flow-dependence pipeline for one array read."""
 
-        sink = _ReadSink(
-            ExplainLog() if self.explain is not None else None,
-            audit=self.audit is not None,
-        )
+        if sink is None:
+            sink = _ReadSink(
+                ExplainLog() if self.explain is not None else None,
+                audit=self.audit is not None,
+            )
         tester = KillTester(
             self.symbols,
             self.output_pairs,
@@ -573,6 +685,7 @@ class Analyzer:
                     self.symbols,
                     assertions=self.options.assertions,
                     array_bounds=self.program.array_bounds,
+                    plan=self.plan,
                 )
 
             consulted_omega = False

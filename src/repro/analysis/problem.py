@@ -275,12 +275,17 @@ def build_pair_problem(
     *,
     assertions: Iterable = (),
     array_bounds: Mapping[str, tuple] | None = None,
+    src_ctx: InstanceContext | None = None,
+    dst_ctx: InstanceContext | None = None,
 ) -> PairProblem:
     """Construct the dependence problem for a pair of same-array accesses.
 
     ``assertions`` are extra :class:`~repro.omega.Constraint` objects over
     symbolic variables (user knowledge such as ``50 <= n <= 100``); they are
-    conjoined into the domain.
+    conjoined into the domain.  ``src_ctx`` / ``dst_ctx`` let the query
+    planner (:mod:`repro.analysis.plan`) supply prebuilt instance contexts
+    shared across the pairs of an iteration-space group; the instance
+    domains are conjoined by copy, so a shared context is never mutated.
     """
 
     if src.array != dst.array:
@@ -288,8 +293,10 @@ def build_pair_problem(
             f"access pair on different arrays: {src.array} vs {dst.array}"
         )
     symbols = symbols or SymbolTable()
-    src_ctx = build_instance(src, "i", symbols, array_bounds)
-    dst_ctx = build_instance(dst, "j", symbols, array_bounds)
+    if src_ctx is None:
+        src_ctx = build_instance(src, "i", symbols, array_bounds)
+    if dst_ctx is None:
+        dst_ctx = build_instance(dst, "j", symbols, array_bounds)
 
     domain = src_ctx.domain.conjoin(dst_ctx.domain)
     domain.name = f"{src} -> {dst}"

@@ -91,6 +91,25 @@ class AnalysisResult:
     #: means the reported dependences are a sound *superset* of the exact
     #: answer.
     degradations: DegradationLog | None = None
+    #: Memoized whole-program dependence graph (see :meth:`graph`).
+    _graph: object | None = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    def graph(self, **kwargs):
+        """The whole-program dependence graph for this result.
+
+        Default-argument calls are memoized — the planner-driven engine
+        emits the graph directly at the end of its single-pass traversal,
+        so consumers get it for free; explicit ``kwargs`` always rebuild.
+        """
+
+        from .graph import dependence_graph
+
+        if kwargs:
+            return dependence_graph(self, **kwargs)
+        if self._graph is None:
+            self._graph = dependence_graph(self)
+        return self._graph
 
     # ------------------------------------------------------------------
     def degraded(self) -> bool:

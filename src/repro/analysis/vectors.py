@@ -206,35 +206,60 @@ def direction_vectors(
     deltas: Sequence[Variable],
     *,
     refine_distances: bool = True,
+    state=None,
 ) -> list[DirectionVector]:
     """Enumerate exact sign combinations, then compress into boxes.
 
     The result is a set of partially compressed direction vectors whose
     union exactly covers the satisfiable sign combinations: merging never
     introduces a sign combination that the problem cannot realize.
+
+    ``state`` (a :class:`repro.solver.plan.PlanState` for ``problem``)
+    substitutes each trial with its exactly-reduced core, so the search
+    probes small shared-prefix problems instead of rebuilding the full
+    conjunction per branch.  Answers — and therefore the enumerated
+    combinations — are identical either way; the distance-refinement
+    projections below deliberately keep using the full problem, since
+    :func:`component_bounds` reads bounds off a (path-dependent) real
+    shadow rather than an exact answer.
     """
 
     if not deltas:
-        return [DirectionVector(())] if is_satisfiable(problem) else []
+        probe = problem if state is None else state.probe()
+        return [DirectionVector(())] if is_satisfiable(probe) else []
 
     combos: list[tuple[DirComponent, ...]] = []
 
-    def explore(prefix: tuple[DirComponent, ...], constraints: list[Constraint]):
+    def explore(
+        prefix: tuple[DirComponent, ...],
+        constraints: list[Constraint],
+        state,
+    ):
         level = len(prefix)
         if level == len(deltas):
             combos.append(prefix)
             return
         extras = [sign.constraints(deltas[level]) for sign in _SIGNS]
-        trials = [
-            Problem(list(problem.constraints) + constraints + extra)
-            for extra in extras
-        ]
+        if state is None:
+            trials = [
+                Problem(list(problem.constraints) + constraints + extra)
+                for extra in extras
+            ]
+        else:
+            trials = [state.probe(extra) for extra in extras]
         feasible = satisfiable_batch(trials)
         for sign, extra, satisfiable in zip(_SIGNS, extras, feasible):
             if satisfiable:
-                explore(prefix + (sign,), constraints + extra)
+                # A child at the deepest level only records its combo, so
+                # extending (and reducing) its state would be dead work.
+                child = (
+                    state.extend(extra, drop=deltas[level])
+                    if state is not None and level + 1 < len(deltas)
+                    else None
+                )
+                explore(prefix + (sign,), constraints + extra, child)
 
-    explore((), [])
+    explore((), [], state)
     if not combos:
         return []
 
@@ -325,29 +350,50 @@ def lexicographically_bad_exists(
     deltas: Sequence[Variable],
     forward: bool,
     start: int = 0,
+    *,
+    state=None,
 ) -> bool:
     """Does the problem admit a lexicographically-negative distance, or an
-    all-zero distance when the pair is not syntactically forward?"""
+    all-zero distance when the pair is not syntactically forward?
+
+    ``state``, when given, must be a plan state whose core already carries
+    ``problem``'s constraints; the per-level probes then run against the
+    reduced core (identical answers, see :mod:`repro.omega.partial`).
+    """
 
     prefix: list[Constraint] = []
     for level in range(start, len(deltas)):
-        negative = Problem(
-            list(problem.constraints)
-            + prefix
-            + [le(LinearExpr({deltas[level]: 1}), -1)]
-        )
+        negative_extra = [le(LinearExpr({deltas[level]: 1}), -1)]
+        if state is None:
+            negative = Problem(
+                list(problem.constraints) + prefix + negative_extra
+            )
+        else:
+            negative = state.probe(negative_extra)
         if is_satisfiable(negative):
             return True
-        prefix.extend(ZERO.constraints(deltas[level]))
+        zero_extra = ZERO.constraints(deltas[level])
+        prefix.extend(zero_extra)
+        # The extended state is only probed by a later level or by the
+        # final all-zero check of a non-forward pair.
+        if state is not None and (level + 1 < len(deltas) or not forward):
+            state = state.extend(zero_extra, drop=deltas[level])
     if not forward:
-        zero = Problem(list(problem.constraints) + prefix)
+        if state is None:
+            zero = Problem(list(problem.constraints) + prefix)
+        else:
+            zero = state.probe()
         if is_satisfiable(zero):
             return True
     return False
 
 
 def restraint_vectors(
-    problem: Problem, deltas: Sequence[Variable], forward: bool
+    problem: Problem,
+    deltas: Sequence[Variable],
+    forward: bool,
+    *,
+    state=None,
 ) -> list[RestraintVector]:
     """Compute a set of restraint vectors for a dependence problem.
 
@@ -356,34 +402,50 @@ def restraint_vectors(
     greedy search prefers a single vector with few constraints (``(0+,*)``
     beats splitting into ``(+,*) , (0,+)``) and splits only when forced,
     exactly as Section 2.1.2 prescribes.
+
+    ``state`` substitutes each satisfiability probe with the plan's
+    reduced core (same answers, same probe order and count).
     """
 
-    def recurse(current: Problem, level: int) -> list[tuple[DirComponent, ...]]:
-        if not is_satisfiable(current):
+    def recurse(
+        current: Problem, level: int, state
+    ) -> list[tuple[DirComponent, ...]]:
+        probe = current if state is None else state.probe()
+        if not is_satisfiable(probe):
             return []
         if level == len(deltas):
             return [()] if forward else []
         delta = deltas[level]
+        negative_extra = [le(LinearExpr({delta: 1}), -1)]
         can_negative = is_satisfiable(
-            Problem(
-                list(current.constraints) + [le(LinearExpr({delta: 1}), -1)]
-            )
+            Problem(list(current.constraints) + negative_extra)
+            if state is None
+            else state.probe(negative_extra)
         )
-        at_zero = Problem(list(current.constraints) + ZERO.constraints(delta))
-        zero_bad = lexicographically_bad_exists(at_zero, deltas, forward, level + 1)
+        zero_extra = ZERO.constraints(delta)
+        at_zero = Problem(list(current.constraints) + zero_extra)
+        zero_state = (
+            None if state is None else state.extend(zero_extra, drop=delta)
+        )
+        zero_bad = lexicographically_bad_exists(
+            at_zero, deltas, forward, level + 1, state=zero_state
+        )
         if not zero_bad:
             head = ZERO_PLUS if can_negative else STAR
             return [(head,) + (STAR,) * (len(deltas) - level - 1)]
         # Splitting: strictly-positive head (rest unconstrained) plus the
         # zero-head restraints of the residual problem.
         results: list[tuple[DirComponent, ...]] = []
-        plus_head = Problem(
-            list(current.constraints) + PLUS.constraints(delta)
+        plus_extra = PLUS.constraints(delta)
+        plus_head = (
+            Problem(list(current.constraints) + plus_extra)
+            if state is None
+            else state.probe(plus_extra)
         )
         if is_satisfiable(plus_head):
             results.append((PLUS,) + (STAR,) * (len(deltas) - level - 1))
-        for tail in recurse(at_zero, level + 1):
+        for tail in recurse(at_zero, level + 1, zero_state):
             results.append((ZERO,) + tail)
         return results
 
-    return [DirectionVector(v) for v in recurse(problem, 0)]
+    return [DirectionVector(v) for v in recurse(problem, 0, state)]

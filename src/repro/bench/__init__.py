@@ -30,6 +30,7 @@ from .compare import (
 from .harness import (
     GUARD_OVERHEAD_THRESHOLD,
     HISTORY_SCHEMA,
+    PLANNER_SPEEDUP_THRESHOLD,
     SCHEMA,
     BenchReport,
     LegResult,
@@ -38,6 +39,7 @@ from .harness import (
     guard_overhead_gate,
     history_entry,
     machine_fingerprint,
+    planner_speedup_gate,
     profile_suites,
     render_report,
     run_bench,
@@ -47,6 +49,7 @@ from .suites import SUITES, Suite, default_suites
 __all__ = [
     "GUARD_OVERHEAD_THRESHOLD",
     "HISTORY_SCHEMA",
+    "PLANNER_SPEEDUP_THRESHOLD",
     "SCHEMA",
     "DEFAULT_THRESHOLD",
     "append_history",
@@ -63,6 +66,7 @@ __all__ = [
     "guard_overhead_gate",
     "load_artifact",
     "machine_fingerprint",
+    "planner_speedup_gate",
     "profile_suites",
     "render_report",
     "run_bench",

@@ -36,6 +36,7 @@ from .suites import Suite, default_suites
 __all__ = [
     "GUARD_OVERHEAD_THRESHOLD",
     "HISTORY_SCHEMA",
+    "PLANNER_SPEEDUP_THRESHOLD",
     "SCHEMA",
     "BenchReport",
     "LegResult",
@@ -44,6 +45,7 @@ __all__ = [
     "guard_overhead_gate",
     "history_entry",
     "machine_fingerprint",
+    "planner_speedup_gate",
     "profile_suites",
     "render_report",
     "run_bench",
@@ -57,17 +59,22 @@ HISTORY_SCHEMA = "repro.bench-history/1"
 #: Legs, in run order.  "on" exercises the memoizing solver facade, "off"
 #: the raw solver — that pair keeps the cache speedup regression-gated —
 #: "workers4" the pipelined solver service (4 workers, cache on), gating
-#: the serial-vs-parallel speedup, and "guard" the serial cached
-#: configuration under a governed (but unlimited) resource budget, gating
-#: the cost of the checkpoint machinery itself.
-LEGS = ("on", "off", "workers4", "guard")
+#: the serial-vs-parallel speedup, "guard" the serial cached configuration
+#: under a governed (but unlimited) resource budget, gating the cost of
+#: the checkpoint machinery itself, and "legacy" the per-pair analysis
+#: path with the single-pass query planner disabled, gating the planner's
+#: speedup.  Governed runs fall back to the per-pair path by design, so
+#: the guard leg also runs with the planner off and its overhead is
+#: measured against "legacy" (same analysis path, no governance).
+LEGS = ("on", "off", "workers4", "guard", "legacy")
 
-#: Leg name -> (cache, workers) configuration.
-LEG_CONFIG: dict[str, tuple[bool, int]] = {
-    "on": (True, 1),
-    "off": (False, 1),
-    "workers4": (True, 4),
-    "guard": (True, 1),
+#: Leg name -> (cache, workers, planner) configuration.
+LEG_CONFIG: dict[str, tuple[bool, int, bool]] = {
+    "on": (True, 1, True),
+    "off": (False, 1, True),
+    "workers4": (True, 4, True),
+    "guard": (True, 1, False),
+    "legacy": (True, 1, False),
 }
 
 #: Legs that run inside ``repro.guard.governed(Budget.unlimited())``: the
@@ -75,9 +82,14 @@ LEG_CONFIG: dict[str, tuple[bool, int]] = {
 #: exhaust, isolating pure governance overhead against the "on" leg.
 GOVERNED_LEGS = frozenset({"guard"})
 
-#: The guard leg may cost at most this much over the "on" leg (median
+#: The guard leg may cost at most this much over the "legacy" leg (median
 #: ratio - 1) before :func:`guard_overhead_gate` fails.
 GUARD_OVERHEAD_THRESHOLD = 0.05
+
+#: The planner must beat the per-pair "legacy" leg by at least this median
+#: ratio on the engine-driven suites before :func:`planner_speedup_gate`
+#: passes.
+PLANNER_SPEEDUP_THRESHOLD = 1.3
 
 
 def machine_fingerprint() -> dict:
@@ -97,7 +109,7 @@ class LegResult:
     """Trial statistics for one suite in one leg."""
 
     suite: str
-    leg: str  # "on" | "off" | "workers4"
+    leg: str  # one of LEGS
     trials: list[float]
 
     @property
@@ -149,13 +161,28 @@ class SuiteResult:
 
     @property
     def guard_overhead(self) -> float:
-        """Guard-leg median over cache-on median (governance cost)."""
+        """Guard-leg median over its ungoverned baseline (governance cost).
+
+        The baseline is the "legacy" leg — the guard leg analyzes through
+        the same per-pair path (governed runs disable the planner) — with
+        the cache-on leg as a fallback for artifacts predating "legacy".
+        """
+
+        baseline = self.legs.get("legacy") or self.legs.get("on")
+        guard = self.legs.get("guard")
+        if baseline is None or guard is None or baseline.median_s == 0:
+            return 1.0
+        return guard.median_s / baseline.median_s
+
+    @property
+    def planner_speedup(self) -> float:
+        """Per-pair "legacy" median over planned cache-on median."""
 
         on = self.legs.get("on")
-        guard = self.legs.get("guard")
-        if on is None or guard is None or on.median_s == 0:
+        legacy = self.legs.get("legacy")
+        if on is None or legacy is None or on.median_s == 0:
             return 1.0
-        return guard.median_s / on.median_s
+        return legacy.median_s / on.median_s
 
     def to_dict(self) -> dict:
         return {
@@ -164,6 +191,7 @@ class SuiteResult:
             "cache_speedup": self.speedup,
             "workers_speedup": self.workers_speedup,
             "guard_overhead": self.guard_overhead,
+            "planner_speedup": self.planner_speedup,
         }
 
 
@@ -233,7 +261,12 @@ def history_entry(
             if "median_s" in data
         }
         summary = {"median_s": entry}
-        for ratio in ("cache_speedup", "workers_speedup", "guard_overhead"):
+        for ratio in (
+            "cache_speedup",
+            "workers_speedup",
+            "guard_overhead",
+            "planner_speedup",
+        ):
             if ratio in suite:
                 summary[ratio] = round(suite[ratio], 4)
         suites[name] = summary
@@ -263,6 +296,7 @@ def _time_leg(
     suite: Suite,
     cache: bool,
     workers: int,
+    planner: bool,
     warmup: int,
     trials: int,
     governed: bool = False,
@@ -274,11 +308,11 @@ def _time_leg(
     )
     with scope():
         for _ in range(warmup):
-            suite.run(cache, workers)
+            suite.run(cache, workers, planner)
         times = []
         for _ in range(trials):
             started = perf_counter()
-            suite.run(cache, workers)
+            suite.run(cache, workers, planner)
             times.append(perf_counter() - started)
     return times
 
@@ -297,7 +331,7 @@ def run_bench(
     for suite in suites:
         result = SuiteResult(suite.name, suite.description)
         for leg in LEGS:
-            cache, workers = LEG_CONFIG[leg]
+            cache, workers, planner = LEG_CONFIG[leg]
             if progress is not None:
                 progress(
                     f"{suite.name}: leg {leg} "
@@ -307,6 +341,7 @@ def run_bench(
                 suite,
                 cache,
                 workers,
+                planner,
                 warmup,
                 trials,
                 governed=leg in GOVERNED_LEGS,
@@ -341,7 +376,9 @@ def guard_overhead_gate(
     """
 
     result = report.suites.get(suite)
-    if result is None or "guard" not in result.legs or "on" not in result.legs:
+    if result is None or "guard" not in result.legs or (
+        "legacy" not in result.legs and "on" not in result.legs
+    ):
         return True, f"guard overhead gate: skipped ({suite} not benchmarked)"
     overhead = result.guard_overhead - 1.0
     ok = overhead < threshold
@@ -349,6 +386,42 @@ def guard_overhead_gate(
     return ok, (
         f"guard overhead gate: {verdict} ({suite} governed run costs "
         f"{overhead:+.1%} vs ungoverned; budget +{threshold:.0%})"
+    )
+
+
+def planner_speedup_gate(
+    report: BenchReport,
+    *,
+    suites: Sequence[str] = ("corpus", "cholsky"),
+    threshold: float = PLANNER_SPEEDUP_THRESHOLD,
+) -> tuple[bool, str]:
+    """Assert the planner beats the per-pair path on the engine suites.
+
+    Returns ``(ok, message)``.  Suites missing the "legacy" or "on" leg
+    are skipped (the gate only judges what actually ran); the symbolic
+    suite never counts, since it does not drive the analysis engine.
+    """
+
+    judged: list[str] = []
+    ok = True
+    for name in suites:
+        result = report.suites.get(name)
+        if (
+            result is None
+            or "legacy" not in result.legs
+            or "on" not in result.legs
+        ):
+            continue
+        speedup = result.planner_speedup
+        judged.append(f"{name} {speedup:.2f}x")
+        if speedup < threshold:
+            ok = False
+    if not judged:
+        return True, "planner speedup gate: skipped (no suite benchmarked)"
+    verdict = "PASS" if ok else "FAIL"
+    return ok, (
+        f"planner speedup gate: {verdict} ({', '.join(judged)}; "
+        f"floor {threshold:.2f}x vs per-pair path)"
     )
 
 
@@ -386,5 +459,9 @@ def render_report(report: BenchReport) -> str:
             lines.append(
                 f"  {name:<12} guard overhead: "
                 f"{suite.guard_overhead - 1.0:+.1%}"
+            )
+        if "legacy" in suite.legs:
+            lines.append(
+                f"  {name:<12} planner speedup: {suite.planner_speedup:.2f}x"
             )
     return "\n".join(lines) + "\n"

@@ -14,9 +14,11 @@ populations of the paper's timing study:
     under the ``50 <= n <= 100`` assertion and Example 8's index-array
     queries.
 
-A suite's ``run(cache, workers)`` callable performs one timed iteration.
-The ``cache`` flag selects the solver-cache leg; ``workers`` selects the
-solver-service worker count (the parallel leg).  With ``workers > 1`` the
+A suite's ``run(cache, workers, planner)`` callable performs one timed
+iteration.  The ``cache`` flag selects the solver-cache leg; ``workers``
+selects the solver-service worker count (the parallel leg); ``planner``
+selects the single-pass query planner (the ``legacy`` leg turns it off to
+time the per-pair path).  With ``workers > 1`` the
 corpus runs under one explicit :class:`repro.solver.SolverService` scope,
 so the service's dedup memo is shared across the corpus programs within
 the iteration — the state the parallel leg is designed to exploit.  State
@@ -49,27 +51,31 @@ class Suite:
     run: Callable[..., None]
 
 
-def _run_corpus(cache: bool, workers: int = 1) -> None:
+def _run_corpus(cache: bool, workers: int = 1, planner: bool = True) -> None:
+    options = AnalysisOptions(cache=cache, workers=workers, planner=planner)
     if workers > 1:
         service = SolverService(workers=workers, cache=cache)
         try:
             with service.activate():
                 for program in timing_corpus():
-                    analyze(
-                        program, AnalysisOptions(cache=cache, workers=workers)
-                    )
+                    analyze(program, options)
         finally:
             service.close()
         return
     for program in timing_corpus():
-        analyze(program, AnalysisOptions(cache=cache, workers=workers))
+        analyze(program, options)
 
 
-def _run_cholsky(cache: bool, workers: int = 1) -> None:
-    analyze(cholsky(), AnalysisOptions(cache=cache, workers=workers))
+def _run_cholsky(cache: bool, workers: int = 1, planner: bool = True) -> None:
+    analyze(
+        cholsky(), AnalysisOptions(cache=cache, workers=workers, planner=planner)
+    )
 
 
-def _run_symbolic(cache: bool, workers: int = 1) -> None:
+def _run_symbolic(cache: bool, workers: int = 1, planner: bool = True) -> None:
+    # ``planner`` is accepted for leg-signature uniformity but has no
+    # effect: the symbolic suite drives the solver directly, without the
+    # analysis engine, so there is no pair traversal to plan.
     scope = caching(SolverCache()) if cache else nullcontext()
     with scope:
         program = example7()

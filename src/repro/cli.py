@@ -11,8 +11,9 @@ Commands
     prints the per-dependence decision trail, ``--stats`` the metrics
     summary (plus solver-cache counters), ``--trace-out t.json`` /
     ``--metrics-out m.json`` write the Chrome-trace and metrics snapshots,
-    ``--no-cache`` disables the solver result cache, and ``--workers N``
-    runs the solver service with N worker threads (identical results).
+    ``--no-cache`` disables the solver result cache, ``--no-planner``
+    falls back to the per-pair analysis path, and ``--workers N`` runs
+    the solver service with N worker threads (identical results).
 
 ``trace FILE``
     Run the extended analysis under the span tracer and write a
@@ -29,8 +30,9 @@ Commands
     kernel.
 
 ``bench``
-    Run the benchmark harness over the paper corpus (cache on/off legs,
-    warmup + trials, median/IQR) and write the canonical
+    Run the benchmark harness over the paper corpus (cache on/off,
+    parallel, governed and per-pair "legacy" legs, warmup + trials,
+    median/IQR) and write the canonical
     ``BENCH_omega.json`` artifact plus a ``results/`` table, appending a
     one-line summary to ``results/bench_history.jsonl``.
     ``--compare OLD.json`` gates the run against a baseline artifact
@@ -142,6 +144,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the solver result cache (results are identical, slower)",
     )
     analyze_cmd.add_argument(
+        "--no-planner",
+        action="store_true",
+        help=(
+            "disable the single-pass query planner and analyze pair by "
+            "pair (results are identical, slower; also REPRO_PLANNER=0)"
+        ),
+    )
+    analyze_cmd.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -192,8 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
         "-o",
         "--out",
         type=pathlib.Path,
-        default=pathlib.Path("trace.json"),
-        help="Chrome-trace output path (default: trace.json)",
+        default=pathlib.Path("results/trace.json"),
+        help="Chrome-trace output path (default: results/trace.json)",
     )
     trace_cmd.add_argument(
         "--jsonl",
@@ -384,6 +394,8 @@ def _cmd_analyze(args) -> int:
     )
     if args.no_cache:
         options.cache = False
+    if args.no_planner:
+        options.planner = False
     if args.workers is not None:
         options.workers = args.workers
     if args.deadline_ms is not None:
@@ -447,9 +459,11 @@ def _cmd_analyze(args) -> int:
                     f"{stats['size']}/{stats['maxsize']} entries"
                 )
     if tracer is not None:
+        args.trace_out.parent.mkdir(parents=True, exist_ok=True)
         tracer.write_chrome_trace(args.trace_out)
         print(f"trace written to {args.trace_out}", file=sys.stderr)
     if args.metrics_out and registry is not None:
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
         args.metrics_out.write_text(registry.to_json() + "\n")
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     return 0
@@ -461,8 +475,10 @@ def _cmd_trace(args) -> int:
     tracer = Tracer()
     with tracing(tracer):
         analyze(program, options)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
     tracer.write_chrome_trace(args.out)
     if args.jsonl:
+        args.jsonl.parent.mkdir(parents=True, exist_ok=True)
         tracer.write_jsonl(args.jsonl)
     names = tracer.span_names()
     print(f"{len(tracer.events)} spans ({len(names)} sites) written to {args.out}")
@@ -499,6 +515,7 @@ def _cmd_bench(args) -> int:
         compare,
         guard_overhead_gate,
         load_artifact,
+        planner_speedup_gate,
         profile_suites,
         render_report,
         run_bench,
@@ -553,6 +570,9 @@ def _cmd_bench(args) -> int:
 
     guard_ok, guard_message = guard_overhead_gate(report)
     print(guard_message)
+    planner_ok, planner_message = planner_speedup_gate(report)
+    print(planner_message)
+    gates_ok = guard_ok and planner_ok
 
     if args.profile:
         profile = profile_suites(suites)
@@ -572,8 +592,8 @@ def _cmd_bench(args) -> int:
             load_artifact(args.compare), report.to_dict(), threshold=threshold
         )
         print(comparison.render())
-        return 0 if (comparison.ok and guard_ok) else 1
-    return 0 if guard_ok else 1
+        return 0 if (comparison.ok and gates_ok) else 1
+    return 0 if gates_ok else 1
 
 
 def _cmd_audit(args) -> int:

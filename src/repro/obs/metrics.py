@@ -83,6 +83,16 @@ CATALOG: tuple[str, ...] = (
     "solver.memo.misses",
     "solver.memo.evictions",
     "solver.tasks",
+    # Query planner (repro.analysis.plan / repro.solver.plan).
+    "solver.plan.groups",
+    "solver.plan.pairs_planned",
+    "solver.plan.base_systems",
+    "solver.plan.base_reused",
+    "solver.plan.cores_built",
+    "solver.plan.cores_reused",
+    "solver.plan.prefix_extensions",
+    "solver.plan.prefix_reuses",
+    "solver.plan.fallbacks",
     # Resource governance (repro.guard).
     "guard.budget_exhausted",
     "guard.degradations",

@@ -44,6 +44,7 @@ from .errors import (
     OmegaError,
 )
 from .gist import GistStats, gist, implies, implies_union
+from .partial import PartialElimination, partial_eliminate
 from .presburger import (
     FALSE,
     TRUE,
@@ -95,6 +96,8 @@ __all__ = [
     "EqualityEliminationResult",
     "fourier_motzkin",
     "FMResult",
+    "partial_eliminate",
+    "PartialElimination",
     # solving
     "is_satisfiable",
     "OmegaStats",

@@ -28,6 +28,7 @@ from ..omega import cache as _ocache
 from ..omega.cache import default_cache_enabled, default_cache_size
 from ..omega.constraints import Problem
 from ..omega.redblack import gist_of_projection
+from .plan import PlanSpace, PlanState
 from .queries import QueryKind, SolverQuery, problem_key
 from .service import (
     DEFAULT_MEMO_SIZE,
@@ -38,6 +39,8 @@ from .service import (
 
 __all__ = [
     "DEFAULT_MEMO_SIZE",
+    "PlanSpace",
+    "PlanState",
     "QueryKind",
     "SolverQuery",
     "SolverService",

@@ -29,10 +29,12 @@ def _artifact():
                     "off": leg(1.0),
                     "workers4": leg(0.25),
                     "guard": leg(0.51),
+                    "legacy": leg(0.75),
                 },
                 "cache_speedup": 2.0,
                 "workers_speedup": 2.0,
                 "guard_overhead": 1.02,
+                "planner_speedup": 1.5,
             },
             "cholsky": {
                 "description": "the kernel",
@@ -59,12 +61,16 @@ class TestHistoryEntry:
         corpus = entry["suites"]["corpus"]
         assert corpus["median_s"] == {
             "guard": 0.51,
+            "legacy": 0.75,
             "off": 1.0,
             "on": 0.5,
             "workers4": 0.25,
         }
         assert corpus["cache_speedup"] == 2.0
         assert corpus["guard_overhead"] == 1.02
+        assert corpus["planner_speedup"] == 1.5
+        # cholsky predates the legacy leg; the ratio is simply absent.
+        assert "planner_speedup" not in entry["suites"]["cholsky"]
 
     def test_default_timestamp_is_utc_iso(self):
         entry = history_entry(_artifact(), sha="abc1234")

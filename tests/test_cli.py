@@ -254,6 +254,7 @@ class TestBenchCommand:
             "off",
             "workers4",
             "guard",
+            "legacy",
         }
         assert (results / "bench_omega.txt").exists()
         assert "cache speedup" in capsys.readouterr().out

@@ -19,7 +19,9 @@ def _python_blocks(path: pathlib.Path) -> list[str]:
 
 
 @pytest.mark.parametrize("name", ["docs/USAGE.md", "README.md"])
-def test_documented_snippets_execute(name):
+def test_documented_snippets_execute(name, tmp_path, monkeypatch):
+    # Some snippets write artifacts (trace.json, ...) relative to cwd.
+    monkeypatch.chdir(tmp_path)
     path = ROOT / name
     blocks = _python_blocks(path)
     assert blocks, f"{name} contains no python snippets"
