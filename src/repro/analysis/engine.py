@@ -38,6 +38,8 @@ from ..obs.instrument import metrics as _metrics
 from ..obs.instrument import span as _span
 from ..obs.instrument import tracing as _tracing
 from ..obs.instrument import tracing_active as _tracing_active
+from ..obs.telemetry.context import current_run as _current_run
+from ..obs.telemetry.events import EventBus, current_bus as _current_bus
 from ..omega import Constraint
 from ..solver import (
     SolverService,
@@ -79,6 +81,12 @@ class _ReadSink:
     #: Audit mode only: provenance is collected per read, merged in read
     #: order (the bit-identity contract shared with explain mode).
     audit: bool = False
+    #: Event-bus mode: lifecycle entries (kind, subject, stage, detail)
+    #: are *recorded* here on whatever thread runs the task and
+    #: *delivered* to the bus at the engine's read-order merge points,
+    #: so the event stream is bit-identical across worker counts.
+    publish: bool = False
+    lifecycle: list[tuple] = field(default_factory=list)
     pair_records: list[PairRecord] = field(default_factory=list)
     kill_timings: list[KillTiming] = field(default_factory=list)
     provenance: list[ProvenanceRecord] = field(default_factory=list)
@@ -97,6 +105,16 @@ class _ReadSink:
     def note_event(self, subject: str, stage: str, detail: str) -> None:
         if self.audit:
             self.events.setdefault(subject, []).append((stage, detail))
+
+    def note_lifecycle(
+        self,
+        kind: str,
+        subject: str,
+        stage: str | None = None,
+        detail: str | None = None,
+    ) -> None:
+        if self.publish:
+            self.lifecycle.append((kind, subject, stage, detail))
 
 
 @dataclass
@@ -211,6 +229,8 @@ class Analyzer:
         self.result.explain = self.explain
         self.audit: AuditLog | None = AuditLog() if options.audit else None
         self.result.audit = self.audit
+        #: The live event bus, when one is publishing (set by :meth:`run`).
+        self.bus: EventBus | None = None
         #: The solver service every query of this run goes through (set by
         #: :meth:`run`; adopted or private, see there).
         self.service: SolverService | None = None
@@ -263,6 +283,9 @@ class Analyzer:
                 )
             if self.audit is not None:
                 stack.enter_context(_auditing(self.audit))
+            self.bus = _current_bus()
+            if self.bus is not None:
+                self.bus.emit("run.start", self.program.name)
             # The query planner drives ungoverned runs only: under a
             # budget the per-probe degradation shields expect the legacy
             # problem shapes, so governed runs keep the per-pair path.
@@ -275,10 +298,26 @@ class Analyzer:
                 )
             elif self.options.planner:
                 _metrics.inc("solver.plan.fallbacks")
-            with _span("analysis.analyze", program=self.program.name) as sp:
+                if self.bus is not None:
+                    self.bus.emit(
+                        "planner.fallback",
+                        self.program.name,
+                        detail="governed run: per-pair path",
+                    )
+            # Attribute the run's root span to the active RunContext so
+            # exported traces carry the request identity.
+            span_attrs = {"program": self.program.name}
+            context = _current_run()
+            if context is not None:
+                span_attrs["run"] = context.run_id
+                if context.request_id is not None:
+                    span_attrs["request"] = context.request_id
+            with _span("analysis.analyze", **span_attrs) as sp:
                 self._run_phases()
             if self.audit is not None:
                 self._finalize_audit()
+            if self.bus is not None:
+                self._emit_run_end()
             if sp.duration:
                 _metrics.observe("analysis.analyze_seconds", sp.duration)
             if self.options.cache:
@@ -304,6 +343,22 @@ class Analyzer:
             stage="omega-unsat",
         )
 
+    def _verdict_of(self, dep: Dependence) -> tuple[str, str]:
+        """(verdict, deciding stage) from a dependence's *final* state.
+
+        Shared by provenance records and ``pair.verdict`` lifecycle
+        events so the two report the same attribution.
+        """
+
+        if dep.status is DependenceStatus.LIVE:
+            extended = self.options.extended and dep.kind is DependenceKind.FLOW
+            return "reported", ("kept" if extended else "standard")
+        if dep.status is DependenceStatus.COVERED:
+            return "eliminated", "cover"
+        killer = dep.eliminated_by
+        terminated = killer is not None and killer.kind is DependenceKind.OUTPUT
+        return "eliminated", ("terminate" if terminated else "kill")
+
     def _dependence_record(
         self, dep: Dependence, sink: "_ReadSink | None" = None
     ) -> ProvenanceRecord:
@@ -312,21 +367,11 @@ class Analyzer:
         subject = dep.subject()
         decided_by: str | None = None
         used_omega: bool | None = None
-        if dep.status is DependenceStatus.LIVE:
-            verdict = "reported"
-            extended = self.options.extended and dep.kind is DependenceKind.FLOW
-            stage = "kept" if extended else "standard"
-        elif dep.status is DependenceStatus.COVERED:
-            verdict = "eliminated"
-            stage = "cover"
+        verdict, stage = self._verdict_of(dep)
+        if stage == "cover":
             used_omega = False  # structural: source runs before the coverer
-        else:
-            verdict = "eliminated"
-            killer = dep.eliminated_by
-            terminated = killer is not None and killer.kind is DependenceKind.OUTPUT
-            stage = "terminate" if terminated else "kill"
-            if sink is not None and not terminated:
-                used_omega = sink.kill_used.get(subject)
+        elif stage == "kill" and sink is not None:
+            used_omega = sink.kill_used.get(subject)
         if dep.eliminated_by is not None:
             decided_by = dep.eliminated_by.subject()
         unrefined = None
@@ -391,6 +436,32 @@ class Analyzer:
         _metrics.inc("omega.precision.independent", independent)
         _metrics.inc("omega.precision.inexact", inexact)
 
+    def _emit_run_end(self) -> None:
+        """Deliver run-level terminal events, deterministically ordered.
+
+        Degradation events are sorted (the log's order depends on worker
+        scheduling under pipelined services) so the event stream stays
+        bit-identical across worker counts.
+        """
+
+        if self.result.degradations is not None:
+            noted = sorted(
+                (event.subject or "", event.kind, event.answer)
+                for event in self.result.degradations
+            )
+            for subject, kind, answer in noted:
+                self.bus.emit(
+                    "degradation",
+                    subject or None,
+                    stage=kind,
+                    detail=answer,
+                )
+        counts = (
+            f"flow={len(self.result.flow)} anti={len(self.result.anti)} "
+            f"output={len(self.result.output)}"
+        )
+        self.bus.emit("run.end", self.program.name, detail=counts)
+
     def _run_phases(self) -> None:
         writes = self.program.writes()
         reads = self.program.reads()
@@ -438,6 +509,8 @@ class Analyzer:
                 self.explain.merge(sink.explain)
             self.result.provenance.extend(sink.provenance)
             self.result.flow.extend(per_read)
+            if self.bus is not None:
+                self.bus.emit_pending(sink.lifecycle)
         if self.options.input_deps:
             with _span("analysis.phase.input"):
                 self._compute_input_dependences(reads)
@@ -454,6 +527,7 @@ class Analyzer:
         sink = _ReadSink(
             ExplainLog() if self.explain is not None else None,
             audit=self.audit is not None,
+            publish=self.bus is not None,
         )
         for dst in writes:
             if read.array != dst.array:
@@ -619,6 +693,8 @@ class Analyzer:
                 self.explain.merge(sink.explain)
             self.result.provenance.extend(sink.provenance)
             self.result.flow.extend(per_read)
+            if self.bus is not None:
+                self.bus.emit_pending(sink.lifecycle)
 
     def _analyze_read(
         self, read: Access, writes: Sequence[Access], sink: "_ReadSink | None" = None
@@ -629,6 +705,7 @@ class Analyzer:
             sink = _ReadSink(
                 ExplainLog() if self.explain is not None else None,
                 audit=self.audit is not None,
+                publish=self.bus is not None,
             )
         tester = KillTester(
             self.symbols,
@@ -665,6 +742,24 @@ class Analyzer:
                 )
             for dep in per_read:
                 sink.provenance.append(self._dependence_record(dep, sink))
+        if sink.publish:
+            # Verdict events mirror the provenance ordering: independent
+            # pairs first, then this read's dependences in final state.
+            for src, dst in sink.independents:
+                sink.note_lifecycle(
+                    "pair.verdict",
+                    f"flow: {src} -> {dst}",
+                    stage="omega-unsat",
+                    detail="independent",
+                )
+            for dep in per_read:
+                verdict, stage = self._verdict_of(dep)
+                detail = verdict
+                if dep.eliminated_by is not None:
+                    detail = f"{verdict} by {dep.eliminated_by.subject()}"
+                sink.note_lifecycle(
+                    "pair.verdict", dep.subject(), stage=stage, detail=detail
+                )
         return per_read, sink
 
     def _analyze_pair(
@@ -673,6 +768,7 @@ class Analyzer:
         """Standard + extended analysis of one array pair, with timing."""
 
         _metrics.inc("analysis.pairs_analyzed")
+        sink.note_lifecycle("pair.start", f"flow: {write} -> {read}")
         # Any degradation inside this pair is attributed to it by name.
         with _guard.subject(f"flow: {write} -> {read}"), _span(
             "analysis.pair", src=write, dst=read
@@ -739,7 +835,7 @@ class Analyzer:
                                 used_omega=True,
                             )
 
-        if not deps and sink.audit:
+        if not deps and (sink.audit or sink.publish):
             sink.independents.append((write, read))
         if deps:
             _metrics.inc("analysis.dependences_found", len(deps))

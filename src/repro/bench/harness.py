@@ -18,10 +18,7 @@ settings, and per-suite / per-leg statistics including the raw trials.
 from __future__ import annotations
 
 import json
-import os
-import platform
 import statistics
-import subprocess
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from time import perf_counter
@@ -31,6 +28,11 @@ from contextlib import nullcontext
 
 from ..guard import budget as _guard
 from ..obs import Profile, Tracer, tracing
+
+# Run identity (fingerprint, git SHA) lives in the telemetry ledger now;
+# re-exported here because bench artifacts carry the same fields.
+from ..obs.telemetry.ledger import git_sha as _git_sha
+from ..obs.telemetry.ledger import machine_fingerprint
 from .suites import Suite, default_suites
 
 __all__ = [
@@ -90,18 +92,6 @@ GUARD_OVERHEAD_THRESHOLD = 0.05
 #: ratio on the engine-driven suites before :func:`planner_speedup_gate`
 #: passes.
 PLANNER_SPEEDUP_THRESHOLD = 1.3
-
-
-def machine_fingerprint() -> dict:
-    """Enough platform detail to tell two artifacts apart."""
-
-    return {
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "cpus": os.cpu_count() or 1,
-    }
 
 
 @dataclass
@@ -223,23 +213,6 @@ class BenchReport:
 # ---------------------------------------------------------------------------
 # Bench history: one summary line per run, appended across PRs
 # ---------------------------------------------------------------------------
-
-
-def _git_sha() -> str | None:
-    """The short commit SHA of the working tree, or None outside git."""
-
-    try:
-        proc = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=5,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return None
-    if proc.returncode != 0:
-        return None
-    return proc.stdout.strip() or None
 
 
 def history_entry(

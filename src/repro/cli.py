@@ -9,11 +9,16 @@ Commands
     ``--assert "n <= m"`` for symbolic assertions, ``--all-kinds`` to list
     anti/output dependences too).  Observability flags: ``--explain``
     prints the per-dependence decision trail, ``--stats`` the metrics
-    summary (plus solver-cache counters), ``--trace-out t.json`` /
-    ``--metrics-out m.json`` write the Chrome-trace and metrics snapshots,
-    ``--no-cache`` disables the solver result cache, ``--no-planner``
-    falls back to the per-pair analysis path, and ``--workers N`` runs
-    the solver service with N worker threads (identical results).
+    summary (plus solver-cache counters), ``--trace-out`` /
+    ``--metrics-out`` write the Chrome-trace and metrics snapshots
+    (defaulting into ``results/`` when given without a path),
+    ``--events-out`` streams per-pair lifecycle events as JSONL
+    (``--event-sample`` keeps a deterministic fraction), ``--prom-out``
+    writes a Prometheus text-format exposition and ``--otlp-out`` an
+    OTLP-style span JSONL.  ``--no-cache`` disables the solver result
+    cache, ``--no-planner`` falls back to the per-pair analysis path,
+    and ``--workers N`` runs the solver service with N worker threads
+    (identical results).
 
 ``trace FILE``
     Run the extended analysis under the span tracer and write a
@@ -51,11 +56,26 @@ Commands
     regressed against a committed artifact; ``--diff A B`` compares two
     existing artifacts without running; ``--why SRC DST`` (with FILE)
     prints one pair's provenance trail, degradations included.
+
+``diff OLD NEW``
+    Differential regression attribution: compare two run records (ledger
+    files or single-record JSON), bench artifacts, precision artifacts or
+    trace files and print a ranked suspects report — the metric, stage or
+    timing shifts most likely responsible for a regression.  ``--kind``
+    selects which record kind to compare from a ledger; ``--gate`` exits
+    nonzero when any deterministic (configuration-independent) regression
+    is among the suspects.
+
+Every ``analyze``/``bench``/``audit`` invocation appends one
+``repro.run/1`` record to the ledger at ``results/runs.jsonl``
+(``--ledger PATH`` redirects it, ``--no-ledger`` or ``REPRO_NO_LEDGER=1``
+suppresses it) — the cross-run layer ``diff`` consumes.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from contextlib import ExitStack
@@ -70,7 +90,23 @@ from .analysis import (
 )
 from .guard import BudgetExhausted, injecting, plan_from_env
 from .ir import parse
-from .obs import MetricsRegistry, Tracer, collecting, tracing
+from .obs import (
+    EventBus,
+    JsonlSink,
+    MetricsRegistry,
+    RunContext,
+    Tracer,
+    append_run,
+    collecting,
+    new_run_id,
+    prometheus_text,
+    publishing,
+    run_context,
+    run_record,
+    tracing,
+    write_otlp_jsonl,
+)
+from .obs.telemetry.ledger import DEFAULT_LEDGER
 from .reporting import flow_tables
 
 __all__ = ["main", "build_parser"]
@@ -184,15 +220,69 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument(
         "--trace-out",
         type=pathlib.Path,
+        nargs="?",
+        const=pathlib.Path("results/trace.json"),
         metavar="PATH",
-        help="write a Chrome-trace JSON of the analysis spans",
+        help=(
+            "write a Chrome-trace JSON of the analysis spans "
+            "(default PATH: results/trace.json)"
+        ),
     )
     analyze_cmd.add_argument(
         "--metrics-out",
         type=pathlib.Path,
+        nargs="?",
+        const=pathlib.Path("results/metrics.json"),
         metavar="PATH",
-        help="write the metrics registry snapshot as JSON",
+        help=(
+            "write the metrics registry snapshot as JSON "
+            "(default PATH: results/metrics.json)"
+        ),
     )
+    analyze_cmd.add_argument(
+        "--prom-out",
+        type=pathlib.Path,
+        nargs="?",
+        const=pathlib.Path("results/metrics.prom"),
+        metavar="PATH",
+        help=(
+            "write the metrics registry as a Prometheus text-format "
+            "exposition (default PATH: results/metrics.prom)"
+        ),
+    )
+    analyze_cmd.add_argument(
+        "--otlp-out",
+        type=pathlib.Path,
+        nargs="?",
+        const=pathlib.Path("results/otlp_spans.jsonl"),
+        metavar="PATH",
+        help=(
+            "write the analysis spans as deterministic OTLP-style JSONL "
+            "(default PATH: results/otlp_spans.jsonl)"
+        ),
+    )
+    analyze_cmd.add_argument(
+        "--events-out",
+        type=pathlib.Path,
+        nargs="?",
+        const=pathlib.Path("results/events.jsonl"),
+        metavar="PATH",
+        help=(
+            "stream per-pair lifecycle events as JSONL "
+            "(default PATH: results/events.jsonl)"
+        ),
+    )
+    analyze_cmd.add_argument(
+        "--event-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help=(
+            "fraction of per-pair events to keep, chosen deterministically "
+            "by content hash (default: 1.0; run-level events always kept)"
+        ),
+    )
+    _add_ledger_flags(analyze_cmd)
 
     trace_cmd = commands.add_parser(
         "trace", help="run the analysis under the tracer, write Chrome-trace JSON"
@@ -297,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip appending to results/bench_history.jsonl",
     )
+    _add_ledger_flags(bench_cmd)
 
     audit_cmd = commands.add_parser(
         "audit",
@@ -376,7 +467,81 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --deadline-ms: raise on budget exhaustion instead",
     )
+    _add_ledger_flags(audit_cmd)
+
+    diff_cmd = commands.add_parser(
+        "diff",
+        help="rank the likely causes of a regression between two runs",
+    )
+    diff_cmd.add_argument(
+        "old",
+        type=pathlib.Path,
+        help="baseline: run ledger/record, bench/precision artifact or trace",
+    )
+    diff_cmd.add_argument(
+        "new",
+        type=pathlib.Path,
+        help="candidate of the same input type as OLD",
+    )
+    diff_cmd.add_argument(
+        "--kind",
+        choices=("analyze", "bench", "audit"),
+        help="which record kind to select when the inputs are run ledgers",
+    )
+    diff_cmd.add_argument(
+        "--gate",
+        action="store_true",
+        help=(
+            "exit nonzero when a deterministic (configuration-independent) "
+            "regression is among the suspects"
+        ),
+    )
+    diff_cmd.add_argument(
+        "-o",
+        "--out",
+        type=pathlib.Path,
+        metavar="PATH",
+        help="also write the suspects report to PATH",
+    )
     return parser
+
+
+def _add_ledger_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--ledger",
+        type=pathlib.Path,
+        nargs="?",
+        const=DEFAULT_LEDGER,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append this run's record to PATH (default: results/runs.jsonl; "
+            "an explicit --ledger overrides REPRO_NO_LEDGER)"
+        ),
+    )
+    cmd.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip the run ledger entirely",
+    )
+
+
+def _ledger_path(args) -> pathlib.Path | None:
+    """Where to append this invocation's run record, or None to skip.
+
+    ``--no-ledger`` always wins; an explicit ``--ledger`` force-enables
+    (so tests and CI can opt back in under ``REPRO_NO_LEDGER``); the
+    environment kill-switch covers everything else; the default is
+    ``results/runs.jsonl``.
+    """
+
+    if args.no_ledger:
+        return None
+    if args.ledger is not None:
+        return args.ledger
+    if os.environ.get("REPRO_NO_LEDGER", "").strip() not in ("", "0"):
+        return None
+    return DEFAULT_LEDGER
 
 
 def _load(path: pathlib.Path):
@@ -402,13 +567,24 @@ def _cmd_analyze(args) -> int:
         options.deadline_ms = args.deadline_ms
     if args.strict:
         options.policy = "raise"
-    tracer = Tracer() if args.trace_out else None
-    registry = MetricsRegistry() if (args.stats or args.metrics_out) else None
+    ledger = _ledger_path(args)
+    tracer = Tracer() if (args.trace_out or args.otlp_out) else None
+    registry = (
+        MetricsRegistry()
+        if (args.stats or args.metrics_out or args.prom_out or ledger)
+        else None
+    )
+    bus: EventBus | None = None
     with ExitStack() as stack:
+        stack.enter_context(run_context(RunContext(run_id=new_run_id())))
         if tracer is not None:
             stack.enter_context(tracing(tracer))
         if registry is not None:
             stack.enter_context(collecting(registry))
+        if args.events_out is not None:
+            sink = stack.enter_context(JsonlSink(args.events_out))
+            bus = EventBus(sink, sample=args.event_sample)
+            stack.enter_context(publishing(bus))
         fault_plan = plan_from_env()
         if fault_plan is not None:
             stack.enter_context(injecting(fault_plan))
@@ -421,7 +597,25 @@ def _cmd_analyze(args) -> int:
                 "rerun without --strict for a sound conservative answer",
                 file=sys.stderr,
             )
+            if ledger is not None:
+                append_run(
+                    run_record(
+                        "analyze",
+                        program=program.name,
+                        options=options,
+                        registry=registry,
+                        error=str(failure),
+                    ),
+                    ledger,
+                )
             return 2
+        record = run_record(
+            "analyze",
+            program=program.name,
+            options=options,
+            registry=registry,
+            result=result,
+        )
     if args.json:
         from .reporting import result_to_json
 
@@ -458,14 +652,31 @@ def _cmd_analyze(args) -> int:
                     f"{stats['evictions']} evictions, "
                     f"{stats['size']}/{stats['maxsize']} entries"
                 )
-    if tracer is not None:
+    if args.trace_out and tracer is not None:
         args.trace_out.parent.mkdir(parents=True, exist_ok=True)
         tracer.write_chrome_trace(args.trace_out)
         print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.otlp_out and tracer is not None:
+        count = write_otlp_jsonl(tracer.events, args.otlp_out)
+        print(
+            f"{count} OTLP spans written to {args.otlp_out}", file=sys.stderr
+        )
     if args.metrics_out and registry is not None:
         args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
         args.metrics_out.write_text(registry.to_json() + "\n")
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.prom_out and registry is not None:
+        args.prom_out.parent.mkdir(parents=True, exist_ok=True)
+        args.prom_out.write_text(prometheus_text(registry))
+        print(f"exposition written to {args.prom_out}", file=sys.stderr)
+    if args.events_out is not None and bus is not None:
+        print(
+            f"{len(bus.events)} events written to {args.events_out}",
+            file=sys.stderr,
+        )
+    if ledger is not None:
+        append_run(record, ledger)
+        print(f"run recorded in {ledger}", file=sys.stderr)
     return 0
 
 
@@ -564,6 +775,12 @@ def _cmd_bench(args) -> int:
         history_path = args.results_dir / "bench_history.jsonl"
         append_history(report.to_dict(), history_path)
         print(f"history appended to {history_path}", file=sys.stderr)
+    ledger = _ledger_path(args)
+    if ledger is not None:
+        # No metrics registry here: collection inside the timed legs
+        # would skew the medians the artifact exists to report.
+        append_run(run_record("bench", artifact=report.to_dict()), ledger)
+        print(f"run recorded in {ledger}", file=sys.stderr)
     table = render_report(report)
     (args.results_dir / "bench_omega.txt").write_text(table)
     print(table)
@@ -664,12 +881,24 @@ def _cmd_audit(args) -> int:
     else:
         programs = None  # the whole corpus
         out = args.out or pathlib.Path("results/precision_omega.json")
-    artifact = precision_report(
-        programs,
-        workers=workers,
-        cache=cache,
-        progress=lambda name: print(f"audit: {name}", file=sys.stderr),
-    )
+    ledger = _ledger_path(args)
+    registry = MetricsRegistry() if ledger is not None else None
+    with ExitStack() as stack:
+        stack.enter_context(run_context(RunContext(run_id=new_run_id())))
+        if registry is not None:
+            stack.enter_context(collecting(registry))
+        artifact = precision_report(
+            programs,
+            workers=workers,
+            cache=cache,
+            progress=lambda name: print(f"audit: {name}", file=sys.stderr),
+        )
+        if ledger is not None:
+            append_run(
+                run_record("audit", registry=registry, artifact=artifact),
+                ledger,
+            )
+            print(f"run recorded in {ledger}", file=sys.stderr)
     if args.json:
         print(_json.dumps(artifact, indent=2))
     else:
@@ -682,6 +911,25 @@ def _cmd_audit(args) -> int:
         comparison = compare_precision(load_precision(args.gate), artifact)
         print(comparison.render())
         return 0 if comparison.ok else 1
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .obs import diff_paths
+
+    try:
+        report = diff_paths(args.old, args.new, kind=args.kind)
+    except (OSError, ValueError) as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 2
+    text = report.render()
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.gate:
+        return 0 if report.ok else 1
     return 0
 
 
@@ -705,6 +953,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "cholsky": _cmd_cholsky,
         "bench": _cmd_bench,
         "audit": _cmd_audit,
+        "diff": _cmd_diff,
     }
     return handlers[args.command](args)
 

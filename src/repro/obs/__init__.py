@@ -73,13 +73,33 @@ def off() -> bool:
 
 
 # Imported after ``off`` is defined: ``audit`` pulls in ``instrument``,
-# which reads ``off`` from this package at import time.
+# which reads ``off`` from this package at import time.  ``telemetry``
+# and ``exporters`` follow for the same reason (and so the run-context
+# and event-bus propagation providers register on package import).
 from .audit import (  # noqa: E402
     AuditLog,
     ProvenanceRecord,
     QueryFootprint,
     auditing,
     current_audit,
+)
+from .exporters import otlp_spans, prometheus_text, write_otlp_jsonl  # noqa: E402
+from .telemetry import (  # noqa: E402
+    EventBus,
+    JsonlSink,
+    RunContext,
+    SuspectsReport,
+    append_run,
+    current_bus,
+    current_run,
+    diff_paths,
+    last_run,
+    new_run_id,
+    publishing,
+    read_runs,
+    run_context,
+    run_record,
+    stable_view,
 )
 
 __all__ = [
@@ -118,4 +138,24 @@ __all__ = [
     "QueryFootprint",
     "auditing",
     "current_audit",
+    # telemetry
+    "EventBus",
+    "JsonlSink",
+    "RunContext",
+    "SuspectsReport",
+    "append_run",
+    "current_bus",
+    "current_run",
+    "diff_paths",
+    "last_run",
+    "new_run_id",
+    "publishing",
+    "read_runs",
+    "run_context",
+    "run_record",
+    "stable_view",
+    # exporters
+    "otlp_spans",
+    "prometheus_text",
+    "write_otlp_jsonl",
 ]

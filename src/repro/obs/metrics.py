@@ -29,6 +29,7 @@ from typing import Iterable, Iterator, Mapping
 __all__ = [
     "CATALOG",
     "DEFAULT_BUCKETS",
+    "GAUGES",
     "LATENCY_HISTOGRAMS",
     "Histogram",
     "MetricsRegistry",
@@ -122,6 +123,17 @@ CATALOG: tuple[str, ...] = (
     "omega.precision.eliminated",
     "omega.precision.independent",
     "omega.precision.inexact",
+    # Telemetry pipeline (repro.obs.telemetry).
+    "obs.events.emitted",
+    "obs.events.sampled_out",
+    "obs.runs.recorded",
+)
+
+#: Well-known gauges.  Gauges are point-in-time values, so they are not
+#: pre-registered at zero (a missing gauge means "never sampled", which
+#: is different from "sampled as zero").
+GAUGES: tuple[str, ...] = (
+    "omega.cache.size",
 )
 
 #: Well-known latency histograms (seconds), fed from span durations at the
@@ -294,7 +306,12 @@ class MetricsRegistry:
         return json.dumps(self.to_dict(), indent=indent)
 
     def summary(self) -> str:
-        """A plain-text summary table of every non-trivial metric."""
+        """A plain-text summary table of every non-trivial metric.
+
+        Ordering is a contract: counters, then gauges, then histograms,
+        each section sorted by name — so ``--stats`` output, run-record
+        snapshots and diffs are stable across worker counts and runs.
+        """
 
         width = max(
             [len(name) for name in self.counters]

