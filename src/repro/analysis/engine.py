@@ -165,6 +165,13 @@ class AnalysisOptions:
     #: flow tasks and solver batches overlap on a thread pool, merged back
     #: deterministically in program order (results are identical).
     workers: int = field(default_factory=default_workers)
+    #: Solver execution backend (``REPRO_BACKEND`` or "thread"): where
+    #: queries physically run.  "serial" pins everything inline, "thread"
+    #: overlaps batches on a dispatcher pool, "process" additionally
+    #: ships raw solver primitives to a process pool (true multi-core;
+    #: see repro.solver.backends).  Results are bit-identical across
+    #: backends.
+    backend: str | None = None
     #: An explicit :class:`repro.solver.SolverService` to use instead of
     #: building one (advanced: lets callers share a service — and its memo
     #: — across many ``analyze`` calls).
@@ -262,6 +269,7 @@ class Analyzer:
                     cache=self.options.cache,
                     cache_size=self.options.cache_size,
                     workers=self.options.workers,
+                    backend=self.options.backend,
                 )
                 stack.callback(service.close)
             self.service = service

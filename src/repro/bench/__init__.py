@@ -32,6 +32,7 @@ from .harness import (
     HISTORY_SCHEMA,
     PLANNER_SPEEDUP_THRESHOLD,
     SCHEMA,
+    WORKERS_SPEEDUP_THRESHOLD,
     BenchReport,
     LegResult,
     SuiteResult,
@@ -43,6 +44,7 @@ from .harness import (
     profile_suites,
     render_report,
     run_bench,
+    workers_speedup_gate,
 )
 from .suites import SUITES, Suite, default_suites
 
@@ -51,6 +53,7 @@ __all__ = [
     "HISTORY_SCHEMA",
     "PLANNER_SPEEDUP_THRESHOLD",
     "SCHEMA",
+    "WORKERS_SPEEDUP_THRESHOLD",
     "DEFAULT_THRESHOLD",
     "append_history",
     "history_entry",
@@ -70,4 +73,5 @@ __all__ = [
     "profile_suites",
     "render_report",
     "run_bench",
+    "workers_speedup_gate",
 ]

@@ -14,11 +14,13 @@ populations of the paper's timing study:
     under the ``50 <= n <= 100`` assertion and Example 8's index-array
     queries.
 
-A suite's ``run(cache, workers, planner)`` callable performs one timed
-iteration.  The ``cache`` flag selects the solver-cache leg; ``workers``
-selects the solver-service worker count (the parallel leg); ``planner``
-selects the single-pass query planner (the ``legacy`` leg turns it off to
-time the per-pair path).  With ``workers > 1`` the
+A suite's ``run(cache, workers, planner, backend)`` callable performs one
+timed iteration.  The ``cache`` flag selects the solver-cache leg;
+``workers`` selects the solver-service worker count (the parallel leg);
+``planner`` selects the single-pass query planner (the ``legacy`` leg
+turns it off to time the per-pair path); ``backend`` selects the solver
+execution backend (the ``process`` leg runs Omega primitives on a
+process pool).  With ``workers > 1`` the
 corpus runs under one explicit :class:`repro.solver.SolverService` scope,
 so the service's dedup memo is shared across the corpus programs within
 the iteration — the state the parallel leg is designed to exploit.  State
@@ -51,10 +53,17 @@ class Suite:
     run: Callable[..., None]
 
 
-def _run_corpus(cache: bool, workers: int = 1, planner: bool = True) -> None:
-    options = AnalysisOptions(cache=cache, workers=workers, planner=planner)
+def _run_corpus(
+    cache: bool,
+    workers: int = 1,
+    planner: bool = True,
+    backend: str | None = None,
+) -> None:
+    options = AnalysisOptions(
+        cache=cache, workers=workers, planner=planner, backend=backend
+    )
     if workers > 1:
-        service = SolverService(workers=workers, cache=cache)
+        service = SolverService(workers=workers, cache=cache, backend=backend)
         try:
             with service.activate():
                 for program in timing_corpus():
@@ -66,16 +75,30 @@ def _run_corpus(cache: bool, workers: int = 1, planner: bool = True) -> None:
         analyze(program, options)
 
 
-def _run_cholsky(cache: bool, workers: int = 1, planner: bool = True) -> None:
+def _run_cholsky(
+    cache: bool,
+    workers: int = 1,
+    planner: bool = True,
+    backend: str | None = None,
+) -> None:
     analyze(
-        cholsky(), AnalysisOptions(cache=cache, workers=workers, planner=planner)
+        cholsky(),
+        AnalysisOptions(
+            cache=cache, workers=workers, planner=planner, backend=backend
+        ),
     )
 
 
-def _run_symbolic(cache: bool, workers: int = 1, planner: bool = True) -> None:
-    # ``planner`` is accepted for leg-signature uniformity but has no
-    # effect: the symbolic suite drives the solver directly, without the
-    # analysis engine, so there is no pair traversal to plan.
+def _run_symbolic(
+    cache: bool,
+    workers: int = 1,
+    planner: bool = True,
+    backend: str | None = None,
+) -> None:
+    # ``planner`` and ``backend`` are accepted for leg-signature
+    # uniformity but have no effect: the symbolic suite drives the solver
+    # directly, without the analysis engine or a solver service, so there
+    # is no pair traversal to plan and no service to re-backend.
     scope = caching(SolverCache()) if cache else nullcontext()
     with scope:
         program = example7()

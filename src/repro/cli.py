@@ -198,6 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     analyze_cmd.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help=(
+            "solver execution backend (default: REPRO_BACKEND or thread); "
+            "process escapes the GIL by running Omega primitives on a "
+            "process pool — results are identical on every backend"
+        ),
+    )
+    analyze_cmd.add_argument(
         "--deadline-ms",
         type=float,
         default=None,
@@ -448,6 +458,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="solver worker threads (provenance is identical at any setting)",
     )
     audit_cmd.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help=(
+            "solver execution backend (default: REPRO_BACKEND or thread; "
+            "provenance is identical on every backend)"
+        ),
+    )
+    audit_cmd.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the solver cache (provenance is identical either way)",
@@ -563,6 +582,8 @@ def _cmd_analyze(args) -> int:
         options.planner = False
     if args.workers is not None:
         options.workers = args.workers
+    if args.backend is not None:
+        options.backend = args.backend
     if args.deadline_ms is not None:
         options.deadline_ms = args.deadline_ms
     if args.strict:
@@ -730,6 +751,7 @@ def _cmd_bench(args) -> int:
         profile_suites,
         render_report,
         run_bench,
+        workers_speedup_gate,
     )
 
     threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
@@ -789,7 +811,9 @@ def _cmd_bench(args) -> int:
     print(guard_message)
     planner_ok, planner_message = planner_speedup_gate(report)
     print(planner_message)
-    gates_ok = guard_ok and planner_ok
+    workers_ok, workers_message = workers_speedup_gate(report)
+    print(workers_message)
+    gates_ok = guard_ok and planner_ok and workers_ok
 
     if args.profile:
         profile = profile_suites(suites)
@@ -843,6 +867,8 @@ def _cmd_audit(args) -> int:
             options.cache = False
         if args.workers is not None:
             options.workers = args.workers
+        if args.backend is not None:
+            options.backend = args.backend
         if args.deadline_ms is not None:
             options.deadline_ms = args.deadline_ms
         if args.strict:
@@ -891,6 +917,7 @@ def _cmd_audit(args) -> int:
             programs,
             workers=workers,
             cache=cache,
+            backend=args.backend,
             progress=lambda name: print(f"audit: {name}", file=sys.stderr),
         )
         if ledger is not None:

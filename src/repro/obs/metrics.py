@@ -84,6 +84,9 @@ CATALOG: tuple[str, ...] = (
     "solver.memo.misses",
     "solver.memo.evictions",
     "solver.tasks",
+    # Execution backends (repro.solver.backends).
+    "solver.backend.dispatched",
+    "solver.backend.fallbacks",
     # Query planner (repro.analysis.plan / repro.solver.plan).
     "solver.plan.groups",
     "solver.plan.pairs_planned",

@@ -375,6 +375,7 @@ def _diff_bench_timing(
         for ratio, better_high in (
             ("cache_speedup", True),
             ("workers_speedup", True),
+            ("process_speedup", True),
             ("planner_speedup", True),
             ("guard_overhead", False),
         ):

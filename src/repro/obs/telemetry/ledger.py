@@ -82,13 +82,24 @@ STABLE_COUNTERS = frozenset(
 def machine_fingerprint() -> dict:
     """Enough platform detail to tell two records apart."""
 
-    return {
+    fingerprint = {
         "platform": platform.platform(),
         "machine": platform.machine(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpus": os.cpu_count() or 1,
     }
+    # FM kernel availability travels with the machine: whether numpy was
+    # importable (and which kernel ran) is a property of this host's
+    # environment, not of the analysis configuration — and stable_view
+    # drops the whole machine dict, so diff gates stay kernel-blind.
+    try:
+        from ...omega.kernel import kernel_info
+
+        fingerprint["kernel"] = kernel_info()
+    except Exception:  # pragma: no cover - never block a run record
+        pass
+    return fingerprint
 
 
 def git_sha() -> str | None:
@@ -124,6 +135,7 @@ _OPTION_FIELDS = (
     "cache",
     "cache_size",
     "workers",
+    "backend",
     "deadline_ms",
     "policy",
     "planner",
@@ -217,6 +229,7 @@ def _bench_summary(artifact: dict) -> tuple[dict, dict]:
         for ratio in (
             "cache_speedup",
             "workers_speedup",
+            "process_speedup",
             "guard_overhead",
             "planner_speedup",
         ):
@@ -299,8 +312,8 @@ def stable_view(record: dict) -> dict:
     Keeps the kind, program, summary and the stable counter subset
     (:data:`STABLE_COUNTER_PREFIXES` / :data:`STABLE_COUNTERS`); drops
     identity, timing, machine and every configuration-dependent series.
-    The ``workers`` and ``cache`` options are elided too — they *are*
-    the configuration under comparison.
+    The ``workers``, ``cache`` and ``backend`` options are elided too —
+    they *are* the configuration under comparison.
     """
 
     options = record.get("options")
@@ -308,7 +321,7 @@ def stable_view(record: dict) -> dict:
         options = {
             key: value
             for key, value in sorted(options.items())
-            if key not in ("workers", "cache", "cache_size")
+            if key not in ("workers", "cache", "cache_size", "backend")
         }
     counters = {}
     metrics = record.get("metrics")

@@ -35,6 +35,7 @@ from ..obs import off as _obs_off
 from ..obs.trace import span as _span
 from .constraints import Constraint, NormalizeStatus, Problem, Relation
 from .errors import OmegaComplexityError, OmegaError
+from .kernel import combine_shadows
 from .terms import LinearExpr, Variable, fresh_wildcard
 
 __all__ = [
@@ -338,21 +339,13 @@ def _fourier_motzkin(
         shadow = Problem(keep, problem.name)
         return FMResult(var, True, shadow, shadow.copy())
 
-    dark = Problem(keep, problem.name)
-    real = Problem(list(keep), problem.name)
-    exact = True
-    for b, lo_rest in lowers:
-        # b*var >= -lo_rest, i.e. beta = -lo_rest
-        for a, up_rest in uppers:
-            # a*var <= up_rest, i.e. alpha = up_rest
-            # real: a*beta <= b*alpha  =>  b*alpha - a*beta >= 0
-            combined = up_rest * b + lo_rest * a
-            real.add(Constraint(combined, Relation.GE))
-            if a == 1 or b == 1:
-                dark.add(Constraint(combined, Relation.GE))
-            else:
-                exact = False
-                dark.add(Constraint(combined - (a - 1) * (b - 1), Relation.GE))
+    # The cross product runs on the row kernel (numpy when available,
+    # exact python otherwise; see repro.omega.kernel).  For each pair:
+    # real shadow  a*beta <= b*alpha   =>  b*alpha - a*beta >= 0,
+    # dark shadow additionally tightened by (a-1)*(b-1) when inexact.
+    real_cs, dark_cs, exact = combine_shadows(lowers, uppers)
+    dark = Problem([*keep, *dark_cs], problem.name)
+    real = Problem([*keep, *real_cs], problem.name)
 
     if exact:
         return FMResult(var, True, dark, real)

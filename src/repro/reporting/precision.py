@@ -96,7 +96,11 @@ def _pair_key(record: ProvenanceRecord) -> tuple[str, str]:
 
 
 def audit_program(
-    program: Program, *, workers: int = 1, cache: bool | None = None
+    program: Program,
+    *,
+    workers: int = 1,
+    cache: bool | None = None,
+    backend: str | None = None,
 ) -> tuple[dict, AnalysisResult]:
     """One program's precision section, plus the audited analysis result.
 
@@ -105,7 +109,7 @@ def audit_program(
     record-level verdict/exactness breakdown rides alongside.
     """
 
-    options = AnalysisOptions(audit=True, workers=workers)
+    options = AnalysisOptions(audit=True, workers=workers, backend=backend)
     if cache is not None:
         options.cache = cache
     result = analyze(program, options)
@@ -166,6 +170,7 @@ def precision_report(
     *,
     workers: int = 1,
     cache: bool | None = None,
+    backend: str | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> dict:
     """The full ``repro.precision/1`` artifact over ``programs``.
@@ -184,7 +189,9 @@ def precision_report(
     for program in programs:
         if progress is not None:
             progress(program.name)
-        section, _ = audit_program(program, workers=workers, cache=cache)
+        section, _ = audit_program(
+            program, workers=workers, cache=cache, backend=backend
+        )
         sections.append(section)
 
     totals = {

@@ -28,6 +28,7 @@ from ..omega import cache as _ocache
 from ..omega.cache import default_cache_enabled, default_cache_size
 from ..omega.constraints import Problem
 from ..omega.redblack import gist_of_projection
+from .backends import available_backends, default_backend, resolve_backend
 from .plan import PlanSpace, PlanState
 from .queries import QueryKind, SolverQuery, problem_key
 from .service import (
@@ -41,6 +42,9 @@ __all__ = [
     "DEFAULT_MEMO_SIZE",
     "PlanSpace",
     "PlanState",
+    "available_backends",
+    "default_backend",
+    "resolve_backend",
     "QueryKind",
     "SolverQuery",
     "SolverService",

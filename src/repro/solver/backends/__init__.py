@@ -1,0 +1,78 @@
+"""Pluggable execution backends for :class:`repro.solver.SolverService`.
+
+The service owns policy (memo, retries, budgets, audit); a backend owns
+mechanics (where calls actually run).  Three strategies ship:
+
+======== ==================================================================
+serial   everything inline on the calling thread (pin determinism/debug)
+thread   dispatcher thread pool — the historical pipelined mode (default)
+process  thread dispatchers + a process pool for the raw primitives,
+         escaping the GIL for the Fourier-Motzkin core
+======== ==================================================================
+
+Selection precedence: explicit ``SolverService(backend=...)`` /
+``AnalysisOptions.backend`` / ``--backend``, then the ``REPRO_BACKEND``
+environment variable, then ``"thread"``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .base import ExecutionBackend
+from .process import ProcessBackend
+from .serial import SerialBackend
+from .thread import ThreadBackend
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "available_backends",
+    "create_backend",
+    "default_backend",
+    "resolve_backend",
+]
+
+DEFAULT_BACKEND = "thread"
+
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Every registered backend name, in documentation order."""
+
+    return tuple(BACKENDS)
+
+
+def default_backend() -> str:
+    """The ambient backend name: ``REPRO_BACKEND`` or "thread"."""
+
+    raw = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    return raw if raw in BACKENDS else DEFAULT_BACKEND
+
+
+def resolve_backend(name: str | None) -> str:
+    """Validate an explicit choice, or fall back to the ambient default."""
+
+    if name is None:
+        return default_backend()
+    choice = name.strip().lower()
+    if choice not in BACKENDS:
+        known = ", ".join(available_backends())
+        raise ValueError(f"unknown solver backend {name!r} (one of: {known})")
+    return choice
+
+
+def create_backend(name: str | None, service) -> ExecutionBackend:
+    """Instantiate the backend ``name`` (or the ambient default) bound to
+    ``service``."""
+
+    return BACKENDS[resolve_backend(name)](service)

@@ -1,0 +1,71 @@
+"""The execution-backend interface of :class:`repro.solver.SolverService`.
+
+A backend owns the *mechanics* of running solver work — inline, on a
+thread pool, or on a process pool — while the service keeps every piece
+of shared state and policy: the single-flight memo, retry/degrade
+handling, guard budget accounting, audit notes and the obs run-context.
+The seam is two calls:
+
+``submit(call)``
+    Place one zero-argument task (a fully-wrapped ``_attempt`` closure,
+    context already captured) for concurrent execution.  Returning
+    ``None`` tells the service to run the call inline on the current
+    thread — the serial backend always does.
+
+``evaluate(fn, args)``
+    Run one *raw* solver primitive — the innermost ``fn(*args)`` under
+    the memo.  This is where the process backend substitutes a wire
+    dispatch; the serial and thread backends simply apply the function.
+
+Backends are constructed with their owning service and live exactly as
+long as it does; ``close()`` releases any pools.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, Future
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service import SolverService
+
+__all__ = ["ExecutionBackend"]
+
+
+class ExecutionBackend:
+    """Base execution strategy: everything runs inline."""
+
+    #: Registry name ("serial", "thread", "process").
+    name = "base"
+
+    #: Whether this backend can overlap independent tasks on a pool.
+    #: Services gate ``threaded`` dispatch on it, so a pool-less backend
+    #: forces batch/map work inline regardless of the worker count.
+    pools = False
+
+    def __init__(self, service: "SolverService"):
+        self.service = service
+
+    @property
+    def executor(self) -> Executor | None:
+        """The live pool, if one has been spun up."""
+
+        return None
+
+    def submit(self, call: Callable[[], object]) -> Future | None:
+        """Place one task; None means the caller must run it inline."""
+
+        return None
+
+    def evaluate(self, fn: Callable, args: tuple):
+        """Run one raw solver primitive."""
+
+        return fn(*args)
+
+    def close(self) -> None:
+        """Release pools; the backend may be lazily revived afterwards."""
+
+    def info(self) -> dict:
+        """A stats()-ready description of this backend."""
+
+        return {"name": self.name}

@@ -1,0 +1,125 @@
+"""The process backend: true multi-core solver execution.
+
+Dispatch keeps the thread backend's shape — dispatcher threads run the
+service's memo/retry/audit wrappers in the parent — but the innermost
+primitive (``evaluate``) is wire-encoded as a picklable
+:class:`~repro.solver.queries.SolverQuery` and executed on a lazily
+created ``ProcessPoolExecutor``, escaping the GIL for the
+Fourier-Motzkin core.  Results come back as ``(value, raised, metrics)``
+triples that :func:`repro.solver.wire.settle` re-homes and re-aggregates
+on the dispatching thread, so every parent-side observable (memo stats,
+``--stats`` counters, audit provenance, budget accounting) is
+bit-identical to inline execution.
+
+Exactness guards — evaluation stays inline whenever dispatch could
+change semantics:
+
+* a guard governor is active (budgets are parent-side ``threading.local``
+  state a worker cannot spend against);
+* a fault-injection plan is active (faults must fire in the parent where
+  the retry/degrade machinery watches for them);
+* the call has no wire form (:func:`encode_call` returned None);
+* the service is not ``threaded`` (single worker or gated-off pools);
+* the pool broke (worker killed, pickling regression) — the backend
+  latches ``broken`` and degrades to inline for the rest of its life
+  rather than failing queries.
+
+Workers start via the ``forkserver`` method where available (``spawn``
+otherwise): the parent runs dispatcher threads, and forking a
+multi-threaded process can copy held locks into the child.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable
+
+from ...guard import budget as _guard
+from ...guard import faults as _faults
+from ...obs import metrics as _metrics
+from .. import wire
+from .thread import ThreadBackend
+
+__all__ = ["ProcessBackend"]
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - platform without forkserver
+        return multiprocessing.get_context("spawn")
+
+
+class ProcessBackend(ThreadBackend):
+    name = "process"
+
+    def __init__(self, service):
+        super().__init__(service)
+        self._procs: ProcessPoolExecutor | None = None
+        self.broken = False
+        self.dispatched = 0
+        self.inline_fallbacks = 0
+
+    def evaluate(self, fn: Callable, args: tuple):
+        if not self._dispatchable():
+            return fn(*args)
+        query = wire.encode_call(fn, args)
+        if query is None:
+            self._fallback()
+            return fn(*args)
+        try:
+            outcome = self._ensure_procs().submit(
+                wire.execute_wire, query
+            ).result()
+        except (BrokenExecutor, OSError):
+            # A dead pool would fail every future query; latch inline.
+            self.broken = True
+            self._fallback()
+            return fn(*args)
+        except (pickle.PicklingError, TypeError):
+            self._fallback()
+            return fn(*args)
+        self.dispatched += 1
+        _metrics.inc("solver.backend.dispatched")
+        return wire.settle(outcome, query)
+
+    def _dispatchable(self) -> bool:
+        return (
+            self.service.threaded
+            and not self.broken
+            and _guard.active() is None
+            and _faults.current_plan() is None
+        )
+
+    def _fallback(self) -> None:
+        self.inline_fallbacks += 1
+        _metrics.inc("solver.backend.fallbacks")
+
+    def _ensure_procs(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._procs is None:
+                self._procs = ProcessPoolExecutor(
+                    max_workers=self.service.workers,
+                    mp_context=_mp_context(),
+                    initializer=wire.worker_init,
+                    initargs=(self.service.cache_enabled,),
+                )
+            return self._procs
+
+    def close(self) -> None:
+        super().close()
+        with self._pool_lock:
+            procs, self._procs = self._procs, None
+        if procs is not None:
+            procs.shutdown(wait=True)
+
+    def info(self) -> dict:
+        return {
+            "name": self.name,
+            "pool": self._procs is not None,
+            "broken": self.broken,
+            "dispatched": self.dispatched,
+            "inline_fallbacks": self.inline_fallbacks,
+        }

@@ -1,0 +1,19 @@
+"""The serial backend: every call runs inline on the calling thread.
+
+``submit`` always returns None and ``pools`` is False, so a service on
+this backend never becomes ``threaded`` — batches and ``map`` run
+in-order on the caller with the canonical cache semantics, exactly the
+historical ``workers=1`` behavior.  Useful to pin determinism-sensitive
+runs (or debugging sessions) to one thread regardless of ``--workers``.
+"""
+
+from __future__ import annotations
+
+from .base import ExecutionBackend
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutionBackend):
+    name = "serial"
+    pools = False

@@ -1,0 +1,53 @@
+"""The thread backend: a lazily-created ThreadPoolExecutor.
+
+This is the historical pipelined execution strategy, extracted verbatim
+from ``SolverService``: dispatcher threads overlap cache misses and
+I/O-ish latency, but the Fourier-Motzkin core remains GIL-bound, so the
+speedup ceiling on CPU-heavy corpora is modest (see PERFORMANCE.md).
+Raw primitives still evaluate in-process (``evaluate`` is inherited).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
+from typing import Callable
+
+from .base import ExecutionBackend
+
+__all__ = ["ThreadBackend"]
+
+
+class ThreadBackend(ExecutionBackend):
+    name = "thread"
+    pools = True
+
+    def __init__(self, service):
+        super().__init__(service)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    @property
+    def executor(self) -> Executor | None:
+        return self._pool
+
+    def submit(self, call: Callable[[], object]) -> Future | None:
+        return self._ensure_pool().submit(call)
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.service.workers,
+                    thread_name_prefix="repro-solver",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def info(self) -> dict:
+        return {"name": self.name, "pool": self._pool is not None}

@@ -39,6 +39,14 @@ Two operating modes, selected by ``workers``:
 Observability context (tracers, metrics registries, the active cache and
 service stacks) is captured per task via :func:`repro.obs.instrument` so
 spans and counters recorded on workers land in the caller's collectors.
+
+*Where* work runs is delegated to a pluggable execution backend
+(:mod:`repro.solver.backends`): ``serial`` pins everything inline,
+``thread`` is the historical dispatcher pool, and ``process`` ships raw
+primitives to a process pool over the picklable wire format
+(:mod:`repro.solver.wire`) for true multi-core scaling.  The service
+keeps all policy — memo, retries, budgets, audit — backend-independent,
+which is what keeps results bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -47,7 +55,7 @@ import os
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, Future
 from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -64,7 +72,9 @@ from ..omega import cache as _ocache
 from ..omega.cache import MISSING, Raised, SolverCache, unwrap
 from ..omega.constraints import Problem
 from ..omega.errors import BudgetExhausted, OmegaComplexityError
+from .backends import create_backend, resolve_backend
 from .queries import SolverQuery, degraded_projection
+from .wire import gist_call, union_call
 
 __all__ = [
     "DEFAULT_MEMO_SIZE",
@@ -178,6 +188,7 @@ class SolverService:
         threads: bool | None = None,
         worker_retries: int = DEFAULT_WORKER_RETRIES,
         retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        backend: str | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -189,12 +200,16 @@ class SolverService:
         self.retry_backoff_s = retry_backoff_s
         self.workers = workers
         self.pipelined = workers > 1
-        # Whether fan-out actually uses the thread pool.  None = auto:
+        self.cache_enabled = bool(cache)
+        self.backend_name = resolve_backend(backend)
+        self.backend = create_backend(self.backend_name, self)
+        # Whether fan-out actually uses the worker pool.  None = auto:
         # only when the host has a second core (threads on a single core
-        # add switch overhead without overlapping any compute).
+        # add switch overhead without overlapping any compute).  A
+        # pool-less backend (serial) forces everything inline.
         if threads is None:
             threads = (os.cpu_count() or 1) > 1
-        self.threaded = self.pipelined and threads
+        self.threaded = self.pipelined and threads and self.backend.pools
         self.memo_size = memo_size
         #: The canonical-form LRU (serial mode with caching only); the
         #: service activates it so the omega entry points see it.
@@ -211,7 +226,6 @@ class SolverService:
                 )
         self._lock = threading.Lock()
         self._inflight: dict = {}
-        self._executor: ThreadPoolExecutor | None = None
         # Counters (approximate under concurrency; exact when serial).
         self.queries = 0
         self.batches = 0
@@ -233,6 +247,7 @@ class SolverService:
         cache: bool = True,
         cache_size: int | None = None,
         workers: int = 1,
+        backend: str | None = None,
     ) -> "SolverService":
         """Build a service for analysis options.
 
@@ -247,6 +262,7 @@ class SolverService:
             cache=cache,
             cache_size=cache_size,
             shared_cache=shared,
+            backend=backend,
         )
 
     @contextmanager
@@ -264,22 +280,18 @@ class SolverService:
             _active.stack.pop()
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; memo survives close)."""
+        """Shut the backend's pools down (idempotent; memo survives)."""
 
-        executor = self._executor
-        self._executor = None
-        if executor is not None:
-            executor.shutdown(wait=True)
+        self.backend.close()
 
-    def _ensure_executor(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-solver"
-            )
-        return self._executor
+    @property
+    def _executor(self) -> Executor | None:
+        """The backend's live pool, if any (introspection/tests)."""
+
+        return self.backend.executor
 
     def _spawn(self, fn: Callable, *args):
-        """Submit ``fn(*args)`` to the pool under the caller's context."""
+        """Submit ``fn(*args)`` to the backend under the caller's context."""
 
         enter = _instr.capture()
 
@@ -292,7 +304,16 @@ class SolverService:
             finally:
                 _worker.inside = was_inside
 
-        return self._ensure_executor().submit(call)
+        future = self.backend.submit(call)
+        if future is None:
+            # Pool-less backend: settle the task inline, but keep the
+            # Future shape so batch settlement code stays uniform.
+            future = Future()
+            try:
+                future.set_result(call())
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                future.set_exception(error)
+        return future
 
     def _attempt(self, fn: Callable, args: tuple):
         """One worker task: crash injection, bounded retry, restart.
@@ -338,8 +359,6 @@ class SolverService:
     def _memoized(self, key, fn: Callable, *args):
         """Single-flight memoization; replays complexity failures."""
 
-        from concurrent.futures import Future
-
         with self._lock:
             memo = self._memo
             entry = memo.get(key, MISSING)
@@ -361,7 +380,7 @@ class SolverService:
             _metrics.inc("solver.batch.inflight_hits")
             return unwrap(pending.result())
         try:
-            value = fn(*args)
+            value = self.backend.evaluate(fn, args)
             stored = value
         except BudgetExhausted as failure:
             # Deadline/budget exhaustion describes *this run*, not the
@@ -396,7 +415,7 @@ class SolverService:
         """One query: memoized when pipelined caching is on, else direct."""
 
         if self._memo is None:
-            return fn(*args)
+            return self.backend.evaluate(fn, args)
         return self._memoized(key, fn, *args)
 
     def _governed_evaluate(self, key, fn: Callable, args: tuple):
@@ -547,15 +566,16 @@ class SolverService:
     def gist(self, problem: Problem, given: Problem, **options):
         self.queries += 1
         _metrics.inc("solver.queries")
+        opts = tuple(sorted(options.items()))
         return self._shielded(
             (
                 "gist",
                 tuple(problem.constraints),
                 tuple(given.constraints),
-                tuple(sorted(options.items())),
+                opts,
             ),
-            lambda: _ocache.gist(problem, given, **options),
-            (),
+            gist_call,
+            (problem, given, opts),
             "gist",
             problem.copy,
             "left unsimplified",
@@ -582,15 +602,16 @@ class SolverService:
     ) -> bool:
         self.queries += 1
         _metrics.inc("solver.queries")
+        opts = tuple(sorted(options.items()))
         return self._shielded(
             (
                 "implies-union",
                 tuple(problem.constraints),
                 tuple(tuple(piece.constraints) for piece in pieces),
-                tuple(sorted(options.items())),
+                opts,
             ),
-            lambda: _ocache.implies_union(problem, list(pieces), **options),
-            (),
+            union_call,
+            (problem, tuple(pieces), opts),
             "implies-union",
             _not_proven,
             "implication not proven",
@@ -803,6 +824,7 @@ class SolverService:
             "workers": self.workers,
             "pipelined": self.pipelined,
             "threaded": self.threaded,
+            "backend": self.backend.info(),
             "queries": self.queries,
             "batches": self.batches,
             "batch_dedup": self.batch_dedup,

@@ -1,0 +1,293 @@
+"""The picklable wire format of the process execution backend.
+
+A process-backed :class:`repro.solver.SolverService` keeps everything
+stateful in the parent — the single-flight memo, guard budget accounting,
+audit notes, the event stream — and ships only the *pure* part of a query
+across the process boundary: a :class:`~repro.solver.queries.SolverQuery`
+(frozen dataclasses over frozen constraints, picklable by construction).
+The worker process executes the primitive and sends back a
+``(value, raised, metrics)`` outcome triple:
+
+``value``
+    The primitive's result — a bool, a :class:`Problem` (gist) or a
+    :class:`Projection`.  Results that carry problems may mention
+    wildcards minted by the *worker's* ``fresh_wildcard`` counter, which
+    is per-process state; :func:`settle` re-homes every such foreign
+    wildcard onto a fresh parent-side wildcard (one per distinct foreign
+    variable, shared across the pieces of one result) so worker-minted
+    existentials can never collide with the parent's.  This mirrors the
+    canonical cache's freeze/thaw translation.
+
+``raised``
+    A :class:`~repro.omega.cache.Raised` capture of an
+    :class:`OmegaComplexityError`, replayed in the parent so complexity
+    failures flow through the memo/shield machinery exactly as inline
+    execution would.  Budget exhaustion cannot occur in a worker: the
+    governor lives in the parent, and governed evaluation never
+    dispatches (see :mod:`repro.solver.backends.process`).
+
+``metrics``
+    A compact snapshot of every counter/gauge/histogram the worker
+    recorded while solving (collected into a fresh per-task registry).
+    :func:`merge_metrics` folds it into the registries active on the
+    dispatching thread, so ``--stats`` totals match inline execution.
+
+Worker processes are long-lived: :func:`worker_init` installs a
+per-process canonical :class:`SolverCache` (when the parent service
+caches) so repeated structurally-equal queries hit locally without any
+cross-process coherence protocol — translated results make the hits
+indistinguishable from fresh computation.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+from ..obs import metrics as _metrics
+from ..obs.metrics import Histogram, MetricsRegistry
+from ..obs.metrics import _registries as _metric_registries
+from ..omega import cache as _ocache
+from ..omega.cache import Raised, SolverCache, _rename_problem
+from ..omega.constraints import Problem
+from ..omega.errors import OmegaComplexityError
+from ..omega.project import Projection
+from ..omega.terms import Variable, fresh_wildcard
+from .queries import QueryKind, SolverQuery
+
+__all__ = [
+    "encode_call",
+    "execute_wire",
+    "gist_call",
+    "known_variables",
+    "merge_metrics",
+    "pack_metrics",
+    "rehome",
+    "settle",
+    "union_call",
+    "worker_init",
+]
+
+
+# ---------------------------------------------------------------------------
+# Callable targets the service uses for batch cells / scalar queries.
+# Module-level (hence picklable) and recognizable by encode_call.
+# ---------------------------------------------------------------------------
+
+
+def gist_call(problem: Problem, given: Problem, options: tuple) -> Problem:
+    """``gist`` with its keyword options flattened to a sorted tuple."""
+
+    return _ocache.gist(problem, given, **dict(options))
+
+
+def union_call(problem: Problem, pieces: tuple, options: tuple) -> bool:
+    """``implies_union`` with options flattened to a sorted tuple."""
+
+    return _ocache.implies_union(problem, list(pieces), **dict(options))
+
+
+def encode_call(fn, args: tuple) -> SolverQuery | None:
+    """Translate a service evaluation call into a wire query.
+
+    Returns None for callables with no wire form (the backend then runs
+    them inline in the parent).
+    """
+
+    bound = getattr(fn, "__self__", None)
+    if isinstance(bound, SolverQuery):
+        return bound
+    if fn is _ocache.is_satisfiable:
+        return SolverQuery.sat(args[0])
+    if fn is _ocache.project:
+        return SolverQuery.project(args[0], args[1])
+    if fn is _ocache.implies:
+        return SolverQuery.implies(args[0], args[1])
+    if fn is gist_call:
+        problem, given, options = args
+        return SolverQuery(
+            QueryKind.GIST, problem, given=given, options=tuple(options)
+        )
+    if fn is union_call:
+        problem, pieces, options = args
+        return SolverQuery(
+            QueryKind.IMPLIES,
+            problem,
+            pieces=tuple(pieces),
+            options=tuple(options),
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------------
+
+#: The per-process canonical result cache (None = parent runs uncached).
+_child_cache: SolverCache | None = None
+
+
+def worker_init(cache: bool) -> None:
+    """Process-pool initializer: reset inherited state, install the cache.
+
+    With fork-based start methods the worker inherits the parent's
+    thread-local stacks (caches, registries, governors) as they were at
+    fork time; none of that state is meaningful here, so it is cleared
+    before the first task runs.
+    """
+
+    from ..guard import budget as _guard
+    from ..guard import faults as _faults
+    from ..obs.trace import _state as _trace_state
+    from . import service as _service
+
+    _metric_registries.stack = []
+    _trace_state.tracers = []
+    _ocache._active.stack = []
+    _service._active.stack = []
+    _guard._active.stack = []
+    _guard._subjects.stack = []
+    _faults._active.stack = []
+
+    global _child_cache
+    _child_cache = SolverCache() if cache else None
+
+
+def pack_metrics(registry: MetricsRegistry) -> dict | None:
+    """The compact picklable snapshot of one task's recorded metrics."""
+
+    counters = {
+        name: value for name, value in registry.counters.items() if value
+    }
+    if not counters and not registry.gauges and not registry.histograms:
+        return None
+    return {
+        "counters": counters,
+        "gauges": dict(registry.gauges),
+        "histograms": {
+            name: (
+                histogram.boundaries,
+                tuple(histogram.bucket_counts),
+                histogram.count,
+                histogram.total,
+                histogram.min,
+                histogram.max,
+            )
+            for name, histogram in registry.histograms.items()
+        },
+    }
+
+
+def execute_wire(query: SolverQuery) -> tuple:
+    """Run one wire query in a worker process.
+
+    Returns ``(value, raised, metrics)``; complexity failures come back
+    as data (a :class:`Raised`), never as a pickled exception, so replay
+    in the parent is byte-for-byte the shape inline execution produces.
+    """
+
+    scope = (
+        _ocache.caching(_child_cache)
+        if _child_cache is not None
+        else nullcontext()
+    )
+    value = None
+    raised: Raised | None = None
+    with _metrics.collecting() as registry:
+        with scope:
+            try:
+                value = query.execute()
+            except OmegaComplexityError as failure:
+                raised = Raised.from_exception(failure)
+    return value, raised, pack_metrics(registry)
+
+
+# ---------------------------------------------------------------------------
+# Parent side: metrics re-aggregation and result translation
+# ---------------------------------------------------------------------------
+
+
+def merge_metrics(packed: dict | None) -> None:
+    """Fold one worker metrics snapshot into this thread's registries."""
+
+    stack = _metric_registries.stack
+    if packed is None or not stack:
+        return
+    staged = MetricsRegistry(catalog=())
+    staged.counters.update(packed["counters"])
+    staged.gauges.update(packed["gauges"])
+    for name, state in packed["histograms"].items():
+        boundaries, buckets, count, total, low, high = state
+        histogram = Histogram(boundaries)
+        histogram.bucket_counts = list(buckets)
+        histogram.count = count
+        histogram.total = total
+        histogram.min = low
+        histogram.max = high
+        staged.histograms[name] = histogram
+    for registry in stack:
+        registry.merge(staged)
+
+
+def known_variables(query: SolverQuery) -> frozenset[Variable]:
+    """Every variable the parent handed to the worker."""
+
+    known: set[Variable] = set(query.problem.variables())
+    known.update(query.keep or ())
+    if query.given is not None:
+        known.update(query.given.variables())
+    for piece in query.pieces or ():
+        known.update(piece.variables())
+    return frozenset(known)
+
+
+def _foreign_wildcards(
+    problems: list[Problem], known: frozenset[Variable]
+) -> dict:
+    """Map each worker-minted wildcard to a fresh parent wildcard."""
+
+    mapping: dict = {}
+    for problem in problems:
+        for constraint in problem.constraints:
+            for var in constraint.expr.terms:
+                if var.is_wildcard and var not in known and var not in mapping:
+                    mapping[var] = fresh_wildcard("wire")
+    return mapping
+
+
+def rehome(value, known: frozenset[Variable]):
+    """Translate a worker result into parent-side wildcard space."""
+
+    if isinstance(value, Projection):
+        problems = list(value.pieces) + [value.real]
+        mapping = _foreign_wildcards(problems, known)
+        if not mapping:
+            return value
+        renamed = [_rename_problem(p, mapping) for p in problems]
+        return Projection(
+            value.kept,
+            renamed[:-1],
+            renamed[-1],
+            exact_union=value.exact_union,
+            splintered=value.splintered,
+        )
+    if isinstance(value, Problem):
+        mapping = _foreign_wildcards([value], known)
+        if not mapping:
+            return value
+        return _rename_problem(value, mapping)
+    return value
+
+
+def settle(outcome: tuple, query: SolverQuery):
+    """Absorb one worker outcome on the dispatching thread.
+
+    Merges the worker's metrics, replays complexity failures, and
+    re-homes foreign wildcards — after this the value is
+    indistinguishable from one computed inline.
+    """
+
+    value, raised, packed = outcome
+    merge_metrics(packed)
+    if raised is not None:
+        raise raised.rebuild()
+    return rehome(value, known_variables(query))

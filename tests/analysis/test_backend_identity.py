@@ -1,0 +1,77 @@
+"""Backend choice must be invisible: analyze() output is bit-identical
+whichever execution backend runs the solver primitives.
+
+This is the analysis-level half of the backend acceptance bar (the
+solver-level half lives in ``tests/solver/test_property_identity.py``):
+full dependence results — dependences, statuses, explain trails — across
+{serial, thread, process} x cache on/off x planner on/off all collapse
+to one snapshot.  Services are built with ``threads=True`` so the pooled
+backends genuinely dispatch even on a single-core host, where the
+engine's own auto-gating would silently fall back to inline execution.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.programs import PAPER_EXAMPLES, cholsky
+from repro.reporting import result_to_dict
+from repro.solver import SolverService
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def snapshot(result):
+    data = result_to_dict(result)
+    if result.explain is not None:
+        data["explain"] = result.explain.render()
+    return data
+
+
+def run_backend(program, backend, *, cache=True, planner=True, **kwargs):
+    service = SolverService(
+        workers=1 if backend == "serial" else 4,
+        cache=cache,
+        backend=backend,
+        threads=True,
+    )
+    try:
+        options = AnalysisOptions(
+            cache=cache, planner=planner, solver=service, **kwargs
+        )
+        return snapshot(analyze(program, options))
+    finally:
+        service.close()
+
+
+@pytest.mark.parametrize(
+    "make_program",
+    PAPER_EXAMPLES.values(),
+    ids=[f"example{number}" for number in PAPER_EXAMPLES],
+)
+def test_paper_examples_identical_across_backends(make_program):
+    baseline = run_backend(make_program(), "serial", explain=True)
+    for backend in BACKENDS[1:]:
+        assert (
+            run_backend(make_program(), backend, explain=True) == baseline
+        ), backend
+
+
+@pytest.mark.parametrize("cache", [True, False], ids=["cache", "nocache"])
+@pytest.mark.parametrize("planner", [True, False], ids=["planner", "perpair"])
+def test_cholsky_identical_across_full_matrix(cache, planner):
+    program = cholsky()
+    baseline = run_backend(
+        program, "serial", cache=cache, planner=planner
+    )
+    for backend in BACKENDS[1:]:
+        assert (
+            run_backend(program, backend, cache=cache, planner=planner)
+            == baseline
+        ), backend
+
+
+def test_engine_builds_the_requested_backend():
+    # Without an explicit service the engine constructs one from the
+    # options; the backend name must thread all the way through.
+    result = analyze(cholsky(), AnalysisOptions(backend="serial"))
+    assert result.counts()["flow_live"] >= 1

@@ -79,7 +79,12 @@ class TestRunRecord:
             "python",
             "implementation",
             "cpus",
+            "kernel",
         }
+        # Kernel availability is part of the machine, not the analysis
+        # configuration: which FM kernel can run is an environment fact.
+        assert set(fingerprint["kernel"]) == {"numpy", "active", "forced"}
+        assert fingerprint["kernel"]["active"] in ("numpy", "python")
         sha = git_sha()
         assert sha is None or isinstance(sha, str)
 

@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.omega import Problem, Variable, gist, project
+from repro.omega import Problem, Variable, gist, is_satisfiable, project
 
 from tests.util import boxed, enumerate_box, union_members
 
@@ -55,6 +55,10 @@ def test_gist_triviality_agrees(case):
 
     p, q = case
     q_boxed = boxed(q, VARS, 5)
+    # An unsatisfiable context implies anything: every answer is a
+    # correct gist there, so the two paths need not agree on triviality.
+    if not is_satisfiable(q_boxed):
+        return
     fast = gist(p, q_boxed)
     naive = gist(p, q_boxed, use_fast_checks=False)
     # "True" gists must agree exactly; non-trivial gists agree as sets

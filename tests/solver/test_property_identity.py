@@ -5,7 +5,8 @@ memo, batch de-duplication and worker pool it uses internally, every
 answer it returns must be bit-identical to calling ``repro.omega.cache``
 directly.  This test harvests real dependence problems from the paper
 examples, CHOLSKY and a fuzzed corpus, runs the four primitives through
-services with ``workers=1`` and ``workers=4`` (scalar *and* batched), and
+services spanning every execution backend (serial, thread pool, process
+pool) with the canonical cache on and off (scalar *and* batched), and
 compares every answer against the direct facade, fingerprinting
 Problem-valued results by canonical form so wildcard numbering cannot
 mask or fake a difference.
@@ -24,7 +25,29 @@ from repro.programs import PAPER_EXAMPLES, cholsky
 from repro.solver import SolverQuery, SolverService
 from tests.analysis.test_cache_determinism import random_program
 
-WORKER_COUNTS = (1, 4)
+# (workers, backend, cache) triples covering the backend x cache matrix
+# from the acceptance criteria.  ``threads=True`` is forced when building
+# each service so the thread and process backends really dispatch even on
+# a single-core CI host (where ``threads`` would otherwise auto-gate off
+# and every backend would collapse to inline execution).
+SERVICE_CONFIGS = (
+    (1, "serial", True),
+    (1, "serial", False),
+    (4, "thread", True),
+    (4, "thread", False),
+    (4, "process", True),
+    (4, "process", False),
+)
+
+
+def config_services():
+    for workers, backend, cache in SERVICE_CONFIGS:
+        yield (
+            f"workers={workers} backend={backend} cache={cache}",
+            SolverService(
+                workers=workers, backend=backend, cache=cache, threads=True
+            ),
+        )
 
 
 def fingerprint(value):
@@ -104,8 +127,7 @@ def assert_service_matches_direct(programs):
     ]
     assert queries, "harvest produced no queries"
     expected = [evaluate_direct(query) for query in queries]
-    for workers in WORKER_COUNTS:
-        service = SolverService(workers=workers)
+    for label, service in config_services():
         try:
             with service.activate():
                 scalar = [
@@ -118,8 +140,8 @@ def assert_service_matches_direct(programs):
                 ]
         finally:
             service.close()
-        assert scalar == expected, f"scalar mismatch at workers={workers}"
-        assert batched == expected, f"batch mismatch at workers={workers}"
+        assert scalar == expected, f"scalar mismatch at {label}"
+        assert batched == expected, f"batch mismatch at {label}"
 
 
 @pytest.mark.parametrize(
@@ -142,7 +164,7 @@ def test_fuzzed_corpus():
 
 
 def test_whole_batch_round_trip():
-    """All harvested queries in a single batch, both worker counts."""
+    """All harvested queries in a single batch, every backend config."""
 
     program = cholsky()
     queries = [
@@ -151,8 +173,7 @@ def test_whole_batch_round_trip():
         for query in query_suite(pair)
     ]
     expected = [evaluate_direct(query) for query in queries]
-    for workers in WORKER_COUNTS:
-        service = SolverService(workers=workers)
+    for label, service in config_services():
         try:
             with service.activate():
                 answers = [
@@ -161,4 +182,26 @@ def test_whole_batch_round_trip():
                 ]
         finally:
             service.close()
-        assert answers == expected, f"workers={workers}"
+        assert answers == expected, label
+
+
+def test_process_backend_really_dispatches():
+    """The parity above must not pass because process fell back inline."""
+
+    program = cholsky()
+    queries = [
+        query
+        for pair in pair_problems(program, limit=4)
+        for query in query_suite(pair)
+    ]
+    service = SolverService(workers=4, backend="process", threads=True)
+    try:
+        with service.activate():
+            for query in queries:
+                service.run(query)
+        info = service.stats()["backend"]
+    finally:
+        service.close()
+    assert info["name"] == "process"
+    if not info["broken"]:
+        assert info["dispatched"] > 0

@@ -1,0 +1,234 @@
+"""The process backend's wire format: pickling, encoding, settling.
+
+The process execution backend only works if everything that crosses the
+process boundary round-trips through pickle *losslessly*: queries must
+keep their identity keys (the parent memo and the child cache both key on
+them), problems must keep their canonical forms, and results must come
+back structurally equal to inline execution.  These are property tests
+over the same harvested corpus the service identity suite uses, plus
+unit tests for the encode/execute/settle pipeline itself.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, collecting
+from repro.omega import Problem, Variable
+from repro.omega import cache as _ocache
+from repro.omega.cache import Raised
+from repro.omega.errors import OmegaComplexityError
+from repro.omega.project import Projection
+from repro.programs import PAPER_EXAMPLES, cholsky
+from repro.solver import QueryKind, SolverQuery
+from repro.solver import wire
+from tests.analysis.test_cache_determinism import random_program
+from tests.solver.test_property_identity import (
+    fingerprint,
+    pair_problems,
+    query_suite,
+)
+
+
+def roundtrip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+def harvest_queries(limit_programs=12):
+    rng = random.Random(19920617)
+    programs = [make() for make in PAPER_EXAMPLES.values()]
+    programs.append(cholsky())
+    programs.extend(
+        random_program(rng, index) for index in range(limit_programs)
+    )
+    return [
+        query
+        for program in programs
+        for pair in pair_problems(program)
+        for query in query_suite(pair)
+    ]
+
+
+class TestPickleRoundTrips:
+    def test_problems_keep_structure_and_canonical_key(self):
+        for query in harvest_queries():
+            problem = query.problem
+            back = roundtrip(problem)
+            assert back.constraints == problem.constraints
+            assert back.canonical() == problem.canonical()
+            assert back.canonical().key == problem.canonical().key
+
+    def test_canonical_problem_round_trips(self):
+        for query in harvest_queries(limit_programs=6):
+            canonical = query.problem.canonical()
+            back = roundtrip(canonical)
+            assert back == canonical
+            assert hash(back) == hash(canonical)
+            assert back.key == canonical.key
+            assert back.rename == canonical.rename
+            assert back.is_unsatisfiable == canonical.is_unsatisfiable
+
+    def test_queries_keep_identity_keys(self):
+        for query in harvest_queries():
+            back = roundtrip(query)
+            assert back.kind is query.kind
+            # Identity keys are tuples over frozen constraints, so equal
+            # keys mean the pickled query names the same computation
+            # (Problem itself compares by identity, not structure).
+            assert back.key() == query.key()
+            assert back.options == query.options
+
+    def test_results_round_trip_structurally(self):
+        # Whatever a worker computes must survive the trip back: compare
+        # canonical fingerprints of executed results after pickling.
+        for query in harvest_queries(limit_programs=4):
+            try:
+                value = query.execute()
+            except OmegaComplexityError:
+                continue
+            assert fingerprint(roundtrip(value)) == fingerprint(value)
+
+    def test_raised_round_trips_and_rebuilds(self):
+        failure = OmegaComplexityError(
+            "too deep", site="omega.fm", budget="splinters", limit=8, spent=9
+        )
+        back = roundtrip(Raised.from_exception(failure))
+        rebuilt = back.rebuild()
+        assert isinstance(rebuilt, OmegaComplexityError)
+        assert rebuilt.message == failure.message
+        assert rebuilt.site == failure.site
+        assert rebuilt.budget == failure.budget
+        assert (rebuilt.limit, rebuilt.spent) == (8, 9)
+
+
+class TestEncodeCall:
+    def _pair(self):
+        x, y = Variable("x"), Variable("y")
+        problem = Problem().add_ge(x - 1).add_le(x, 9).add_eq(y - 2 * x)
+        given = Problem().add_ge(x - 1)
+        return problem, given
+
+    def test_facade_primitives_encode(self):
+        problem, given = self._pair()
+        keep = tuple(problem.variables())[:1]
+        query = wire.encode_call(_ocache.is_satisfiable, (problem,))
+        assert query.kind is QueryKind.SAT and query.problem is problem
+        query = wire.encode_call(_ocache.project, (problem, keep))
+        assert query.kind is QueryKind.PROJECT
+        assert query.keep == tuple(keep)
+        query = wire.encode_call(_ocache.implies, (problem, given))
+        assert query.kind is QueryKind.IMPLIES and query.given is given
+
+    def test_module_level_gist_and_union_calls_encode(self):
+        problem, given = self._pair()
+        opts = (("simplify", True),)
+        query = wire.encode_call(wire.gist_call, (problem, given, opts))
+        assert query.kind is QueryKind.GIST
+        assert query.options == opts
+        query = wire.encode_call(wire.union_call, (problem, (given,), opts))
+        assert query.kind is QueryKind.IMPLIES
+        assert query.pieces == (given,)
+
+    def test_bound_query_execute_encodes_to_the_query(self):
+        problem, _ = self._pair()
+        query = SolverQuery.sat(problem)
+        assert wire.encode_call(query.execute, ()) is query
+
+    def test_unencodable_callables_return_none(self):
+        assert wire.encode_call(len, ((),)) is None
+        assert wire.encode_call(lambda: True, ()) is None
+
+
+class TestExecuteAndSettle:
+    def test_wire_execution_matches_inline(self):
+        for query in harvest_queries(limit_programs=4):
+            outcome = wire.execute_wire(query)
+            try:
+                expected = fingerprint(query.execute())
+            except OmegaComplexityError:
+                with pytest.raises(OmegaComplexityError):
+                    wire.settle(outcome, query)
+                continue
+            settled = wire.settle(outcome, query)
+            assert fingerprint(settled) == expected
+
+    def test_settle_rehomes_foreign_wildcards(self):
+        # Projecting x out of y = 2x yields "y is even" — a constraint
+        # over a wildcard minted *during* execution, exactly like one a
+        # worker process would mint from its own counter.
+        x, y = Variable("x"), Variable("y")
+        problem = Problem().add_eq(y - 2 * x).add_ge(x).add_le(x, 10)
+        query = SolverQuery.project(problem, [y])
+        outcome = wire.execute_wire(query)
+        settled = wire.settle(outcome, query)
+        known = wire.known_variables(query)
+        assert isinstance(settled, Projection)
+        minted = {
+            var
+            for piece in list(settled.pieces) + [settled.real]
+            for constraint in piece.constraints
+            for var in constraint.expr.terms
+            if var.is_wildcard
+        }
+        assert minted, "projection expected to mint a wildcard"
+        assert not minted & known
+        assert all("wire" in var.name for var in minted)
+        # Re-homing preserves meaning: canonical forms match inline.
+        assert fingerprint(settled) == fingerprint(query.execute())
+
+    def test_known_variables_cover_every_operand(self):
+        x, y = Variable("x"), Variable("y")
+        problem = Problem().add_ge(x)
+        given = Problem().add_ge(y)
+        query = SolverQuery.gist(problem, given)
+        assert {x, y} <= set(wire.known_variables(query))
+        union = SolverQuery.implies_union(problem, [given])
+        assert {x, y} <= set(wire.known_variables(union))
+        project = SolverQuery.project(problem, [y])
+        assert {x, y} <= set(wire.known_variables(project))
+
+
+class TestMetricsWire:
+    def test_pack_and_merge_round_trip(self):
+        recorded = MetricsRegistry()
+        with collecting(recorded):
+            from repro.obs import metrics as _metrics
+
+            _metrics.inc("solver.queries", 3)
+            _metrics.observe("analysis.pair_seconds", 0.25)
+            _metrics.observe("analysis.pair_seconds", 0.75)
+        packed = wire.pack_metrics(recorded)
+        assert packed is not None
+        packed = roundtrip(packed)  # it must survive the pickle boundary
+        merged = MetricsRegistry()
+        with collecting(merged):
+            wire.merge_metrics(packed)
+        assert merged.counter("solver.queries") == 3
+        histogram = merged.histograms["analysis.pair_seconds"]
+        original = recorded.histograms["analysis.pair_seconds"]
+        assert histogram.count == original.count
+        assert histogram.total == original.total
+        assert histogram.bucket_counts == original.bucket_counts
+
+    def test_empty_registry_packs_to_none(self):
+        assert wire.pack_metrics(MetricsRegistry()) is None
+
+    def test_merge_without_active_registry_is_a_no_op(self):
+        wire.merge_metrics({"counters": {"solver.queries": 1}})
+        wire.merge_metrics(None)
+
+
+class TestWorkerInit:
+    def test_installs_child_cache_per_flag(self):
+        from repro.obs.metrics import _registries as _metric_registries
+
+        saved = list(_metric_registries.stack)
+        try:
+            wire.worker_init(True)
+            assert wire._child_cache is not None
+            wire.worker_init(False)
+            assert wire._child_cache is None
+        finally:
+            _metric_registries.stack = saved
+            wire._child_cache = None

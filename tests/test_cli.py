@@ -253,6 +253,7 @@ class TestBenchCommand:
             "on",
             "off",
             "workers4",
+            "process",
             "guard",
             "legacy",
         }
