@@ -333,6 +333,7 @@ class Analyzer:
                 if stats is not None:
                     self.result.cache_stats = stats
                     _metrics.set_gauge("omega.cache.size", stats["size"])
+            self.result.backend_stats = dict(service.backend.info())
         return self.result
 
     # -- provenance assembly (audit mode) -------------------------------

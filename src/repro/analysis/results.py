@@ -91,6 +91,12 @@ class AnalysisResult:
     #: means the reported dependences are a sound *superset* of the exact
     #: answer.
     degradations: DegradationLog | None = None
+    #: Snapshot of the execution backend's counters for this analysis
+    #: (:meth:`repro.solver.backends.ExecutionBackend.info`).  Surfaces
+    #: the process backend's broken-pool latch and inline-fallback count
+    #: — a run that silently fell back to inline execution says so here,
+    #: in ``--stats`` and in the run ledger.
+    backend_stats: dict | None = None
     #: Memoized whole-program dependence graph (see :meth:`graph`).
     _graph: object | None = field(default=None, repr=False, compare=False)
 

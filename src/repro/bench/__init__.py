@@ -46,9 +46,17 @@ from .harness import (
     run_bench,
     workers_speedup_gate,
 )
+from .serve import (
+    SERVE_BENCH_SCHEMA,
+    render_serve_bench,
+    run_serve_bench,
+)
 from .suites import SUITES, Suite, default_suites
 
 __all__ = [
+    "SERVE_BENCH_SCHEMA",
+    "render_serve_bench",
+    "run_serve_bench",
     "GUARD_OVERHEAD_THRESHOLD",
     "HISTORY_SCHEMA",
     "PLANNER_SPEEDUP_THRESHOLD",

@@ -57,6 +57,25 @@ Commands
     existing artifacts without running; ``--why SRC DST`` (with FILE)
     prints one pair's provenance trail, degradations included.
 
+``serve``
+    Long-lived dependence-analysis daemon: JSON requests over HTTP
+    (``--host``/``--port``) and/or an ``AF_UNIX`` socket
+    (``--unix-socket``), multiplexed through one shared solver service
+    with a crash-safe persistent cache tier (``--store``, sqlite) that
+    survives restarts.  Admission control sheds load with 429 +
+    Retry-After instead of failing (``--max-inflight``,
+    ``--queue-depth``); every request runs under a deadline and
+    degrades to sound superset answers rather than erroring
+    (``--default-deadline-ms``).  SIGTERM drains gracefully.  See
+    ``docs/SERVICE.md``.
+
+``serve-bench``
+    Service benchmark: a cold leg, a warm leg after a simulated restart
+    (same store file, fresh process state — asserts persistent-tier
+    hits), and a concurrent-clients leg; verifies service answers are
+    bit-identical to direct ``analyze()`` and writes
+    ``results/serve_bench.json``.
+
 ``diff OLD NEW``
     Differential regression attribution: compare two run records (ledger
     files or single-record JSON), bench artifacts, precision artifacts or
@@ -292,6 +311,19 @@ def build_parser() -> argparse.ArgumentParser:
             "by content hash (default: 1.0; run-level events always kept)"
         ),
     )
+    analyze_cmd.add_argument(
+        "--store",
+        type=pathlib.Path,
+        nargs="?",
+        const=pathlib.Path("results/omega_store.db"),
+        default=None,
+        metavar="PATH",
+        help=(
+            "back the solver cache with the crash-safe persistent tier at "
+            "PATH (default PATH: results/omega_store.db; results are "
+            "bit-identical, repeat runs answer from the store)"
+        ),
+    )
     _add_ledger_flags(analyze_cmd)
 
     trace_cmd = commands.add_parser(
@@ -488,6 +520,124 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_ledger_flags(audit_cmd)
 
+    serve_cmd = commands.add_parser(
+        "serve",
+        help=(
+            "run the analysis daemon: JSON over HTTP and/or a unix socket, "
+            "shared solver service, persistent cache tier, degrade-don't-die"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1)",
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        help="TCP port (default: 8177; 0 picks a free port)",
+    )
+    serve_cmd.add_argument(
+        "--no-tcp",
+        action="store_true",
+        help="serve on the unix socket only",
+    )
+    serve_cmd.add_argument(
+        "--unix-socket",
+        type=pathlib.Path,
+        metavar="PATH",
+        help="also listen on an AF_UNIX socket at PATH",
+    )
+    serve_cmd.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=pathlib.Path("results/omega_store.db"),
+        metavar="PATH",
+        help=(
+            "persistent solver store path (default: results/omega_store.db)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--no-store",
+        action="store_true",
+        help="run memory-only (hits no longer survive restarts)",
+    )
+    serve_cmd.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent requests in execution (default: 4)",
+    )
+    serve_cmd.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help="requests allowed to wait for a slot (default: 16)",
+    )
+    serve_cmd.add_argument(
+        "--queue-timeout-s",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="longest a request may wait before shedding (default: 1.0)",
+    )
+    serve_cmd.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "per-request wall-clock budget when the request names none "
+            "(default: 10000; past it, answers degrade soundly)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--max-deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="hard cap on any requested deadline_ms",
+    )
+    _add_ledger_flags(serve_cmd)
+
+    serve_bench_cmd = commands.add_parser(
+        "serve-bench",
+        help=(
+            "service latency benchmark: cold vs warm-restart vs concurrent "
+            "clients, with persistent-tier hit accounting"
+        ),
+    )
+    serve_bench_cmd.add_argument(
+        "-o",
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("results/serve_bench.json"),
+        help="artifact output path (default: results/serve_bench.json)",
+    )
+    serve_bench_cmd.add_argument(
+        "--trials",
+        type=int,
+        default=3,
+        help="timed submissions per corpus program and leg (default: 3)",
+    )
+    serve_bench_cmd.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent clients in the load leg (default: 4)",
+    )
+    serve_bench_cmd.add_argument(
+        "--store-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="directory for the benchmark's store files (default: temp dir)",
+    )
+    _add_ledger_flags(serve_bench_cmd)
+
     diff_cmd = commands.add_parser(
         "diff",
         help="rank the likely causes of a regression between two runs",
@@ -609,6 +759,25 @@ def _cmd_analyze(args) -> int:
         fault_plan = plan_from_env()
         if fault_plan is not None:
             stack.enter_context(injecting(fault_plan))
+        store = None
+        if args.store is not None:
+            from .omega.cache import SolverCache, caching
+            from .omega.store import PersistentStore
+
+            store = PersistentStore(args.store)
+            stack.callback(store.close)
+            # Serial caching runs adopt the enclosing scope's cache, which
+            # is how the persistent tier reaches the solver; pipelined
+            # (--workers N) runs keep their own memo and skip the store.
+            stack.enter_context(
+                caching(SolverCache(options.cache_size, store=store))
+            )
+            if (options.workers or 1) > 1:
+                print(
+                    "note: --store applies to serial runs; "
+                    f"--workers {options.workers} will not consult it",
+                    file=sys.stderr,
+                )
         try:
             result = analyze(program, options)
         except BudgetExhausted as failure:
@@ -673,6 +842,31 @@ def _cmd_analyze(args) -> int:
                     f"{stats['evictions']} evictions, "
                     f"{stats['size']}/{stats['maxsize']} entries"
                 )
+                tier = stats.get("store")
+                if tier is not None:
+                    print(
+                        "persistent store: "
+                        f"{tier['hits']} hits, {tier['misses']} misses, "
+                        f"{tier['writes']} writes, {tier['errors']} errors "
+                        f"({tier['path']})"
+                        + (" DISABLED" if tier.get("disabled") else "")
+                    )
+            if result.backend_stats is not None:
+                backend = result.backend_stats
+                line = f"solver backend: {backend.get('name', '?')}"
+                if "dispatched" in backend:
+                    line += f", {backend['dispatched']} dispatched"
+                if backend.get("inline_fallbacks"):
+                    line += (
+                        f", {backend['inline_fallbacks']} inline fallbacks"
+                    )
+                print(line)
+                if backend.get("broken"):
+                    print(
+                        "WARNING: the process pool broke during this run; "
+                        "remaining queries fell back to inline execution "
+                        "(results are still exact)."
+                    )
     if args.trace_out and tracer is not None:
         args.trace_out.parent.mkdir(parents=True, exist_ok=True)
         tracer.write_chrome_trace(args.trace_out)
@@ -941,6 +1135,80 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import Daemon, ServeApp
+
+    if args.no_tcp and args.unix_socket is None:
+        print("--no-tcp requires --unix-socket PATH", file=sys.stderr)
+        return 2
+    kwargs: dict = {
+        "store_path": None if args.no_store else args.store,
+        "ledger_path": _ledger_path(args),
+        "max_inflight": args.max_inflight,
+        "queue_depth": args.queue_depth,
+        "queue_timeout_s": args.queue_timeout_s,
+    }
+    if args.default_deadline_ms is not None:
+        kwargs["default_deadline_ms"] = args.default_deadline_ms
+    if args.max_deadline_ms is not None:
+        kwargs["max_deadline_ms"] = args.max_deadline_ms
+    app = ServeApp(**kwargs)
+    daemon = Daemon(
+        app,
+        host=None if args.no_tcp else args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+    )
+    # The listeners bind at construction, so the announced port is real
+    # even with --port 0; run() starts the serve loops itself.
+    if daemon.port is not None:
+        print(f"serving on http://{args.host}:{daemon.port}", file=sys.stderr)
+    if args.unix_socket is not None:
+        print(f"serving on unix:{args.unix_socket}", file=sys.stderr)
+    if kwargs["store_path"] is not None:
+        print(f"persistent store: {kwargs['store_path']}", file=sys.stderr)
+    try:
+        daemon.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        daemon.stop()
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    import json as _json
+
+    from .bench.serve import render_serve_bench, run_serve_bench
+
+    artifact = run_serve_bench(
+        trials=args.trials,
+        clients=args.clients,
+        store_dir=args.store_dir,
+        progress=lambda text: print(f"serve-bench: {text}", file=sys.stderr),
+    )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(_json.dumps(artifact, indent=2) + "\n")
+    print(f"artifact written to {args.out}", file=sys.stderr)
+    ledger = _ledger_path(args)
+    if ledger is not None:
+        append_run(run_record("serve-bench", artifact=artifact), ledger)
+        print(f"run recorded in {ledger}", file=sys.stderr)
+    print(render_serve_bench(artifact))
+    warm = artifact["legs"]["warm_restart"]
+    if warm["store_hits"] <= 0:
+        print(
+            "error: the warm-restart leg took no persistent-tier hits",
+            file=sys.stderr,
+        )
+        return 1
+    if not artifact["identical"]:
+        print(
+            "error: service answers diverged from direct analyze()",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_diff(args) -> int:
     from .obs import diff_paths
 
@@ -980,6 +1248,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "cholsky": _cmd_cholsky,
         "bench": _cmd_bench,
         "audit": _cmd_audit,
+        "serve": _cmd_serve,
+        "serve-bench": _cmd_serve_bench,
         "diff": _cmd_diff,
     }
     return handlers[args.command](args)

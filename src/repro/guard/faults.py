@@ -47,6 +47,7 @@ __all__ = [
     "DEFAULT_RATE",
     "FaultInjected",
     "FaultPlan",
+    "SERVE_KINDS",
     "current_plan",
     "injecting",
     "plan_from_env",
@@ -56,8 +57,16 @@ __all__ = [
 #: Default per-checkpoint failure probability.
 DEFAULT_RATE = 0.05
 
-#: All fault kinds a plan may inject.
+#: Solver-path fault kinds a plan may inject.
 KINDS = ("timeout", "budget", "crash")
+
+#: Serve-path fault kinds (see :meth:`FaultPlan.maybe_serve`): drop a
+#: request at admission, fail a persistent-store I/O, or stall a client
+#: response.  These never raise from :meth:`maybe_fail` — the serve
+#: layers poll for them at their own checkpoints, because the sound
+#: reaction differs per site (shed vs degrade vs slow), unlike the
+#: solver faults whose uniform reaction is "raise BudgetExhausted".
+SERVE_KINDS = ("request-drop", "store-io-error", "slow-client")
 
 #: Sites where ``crash`` faults may fire (the solver service's worker
 #: wrapper consults these through :meth:`FaultPlan.maybe_crash`).
@@ -101,7 +110,7 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         for kind in self.kinds:
-            if kind not in KINDS:
+            if kind not in KINDS and kind not in SERVE_KINDS:
                 raise ValueError(f"unknown fault kind {kind!r}")
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError("rate must be in [0, 1]")
@@ -121,7 +130,7 @@ class FaultPlan:
         Crash faults never fire here — see :meth:`maybe_crash`.
         """
 
-        soft = [k for k in self.kinds if k != "crash"]
+        soft = [k for k in self.kinds if k in ("timeout", "budget")]
         if not soft or not self._applies(site):
             return
         count = self._count(site)
@@ -144,6 +153,27 @@ class FaultPlan:
         raise BudgetExhausted(
             "injected budget fault", site=site, budget=meter, limit=0, spent=1
         )
+
+    def maybe_serve(self, site: str, kinds: tuple[str, ...]) -> str | None:
+        """Serve-path hook: the drawn fault kind for this call, or None.
+
+        ``kinds`` restricts the draw to the fault kinds the calling site
+        knows how to express (a store can suffer ``store-io-error`` but
+        not ``slow-client``).  Unlike :meth:`maybe_fail` this *returns*
+        the kind instead of raising — the serve layers translate it into
+        their own failure mode (a 429, a sqlite error, a stalled write).
+        """
+
+        armed = [k for k in self.kinds if k in SERVE_KINDS and k in kinds]
+        if not armed or not self._applies(site):
+            return None
+        count = self._count(site)
+        if _draw(self.seed, site, count, "serve") >= self.rate:
+            return None
+        kind = armed[int(_draw(self.seed, site, count, "servekind") * len(armed))]
+        self.injected.append((site, kind, count))
+        _metrics.inc("guard.faults_injected")
+        return kind
 
     def maybe_crash(self, site: str) -> None:
         """Worker hook: raise :class:`FaultInjected`, or return."""

@@ -126,6 +126,26 @@ CATALOG: tuple[str, ...] = (
     "omega.precision.eliminated",
     "omega.precision.independent",
     "omega.precision.inexact",
+    # Persistent solver store (repro.omega.store).
+    "omega.store.hits",
+    "omega.store.misses",
+    "omega.store.writes",
+    "omega.store.errors",
+    "omega.store.quarantines",
+    "omega.store.cold_resets",
+    # Serve daemon (repro.serve).
+    "serve.requests",
+    "serve.responses.ok",
+    "serve.responses.degraded",
+    "serve.responses.error",
+    "serve.responses.invalid",
+    "serve.rejected",
+    "serve.dropped",
+    "serve.slow_clients",
+    "serve.result_cache.hits",
+    "serve.result_cache.misses",
+    "serve.incremental.pairs_reused",
+    "serve.incremental.pairs_changed",
     # Telemetry pipeline (repro.obs.telemetry).
     "obs.events.emitted",
     "obs.events.sampled_out",
@@ -137,6 +157,7 @@ CATALOG: tuple[str, ...] = (
 #: is different from "sampled as zero").
 GAUGES: tuple[str, ...] = (
     "omega.cache.size",
+    "serve.inflight",
 )
 
 #: Well-known latency histograms (seconds), fed from span durations at the
@@ -152,6 +173,7 @@ LATENCY_HISTOGRAMS: tuple[str, ...] = (
     "analysis.refine_seconds",
     "analysis.cover_seconds",
     "analysis.analyze_seconds",
+    "serve.request_seconds",
 )
 
 

@@ -294,6 +294,15 @@ def run_record(
     }
     if result is not None:
         record["summary"] = _result_summary(result)
+        # The execution backend's counters (dispatch totals, the process
+        # pool's broken latch, inline fallbacks) ride at the top level,
+        # NOT inside summary: stable_view keeps summary, and backend
+        # behavior is precisely the configuration-dependent detail the
+        # stable projection must drop.  This is where a silent
+        # broken-pool fallback becomes visible in production ledgers.
+        backend = getattr(result, "backend_stats", None)
+        if backend is not None:
+            record["backend"] = backend
     if artifact is not None:
         schema = artifact.get("schema", "")
         if schema.startswith("repro.bench/"):

@@ -166,17 +166,36 @@ class SolverCache:
     metrics/tracing scoping, but the solver service may propagate one
     activation to its worker threads, so the LRU bookkeeping itself is
     lock-protected.
+
+    An optional ``store`` (duck-typed on
+    :class:`repro.omega.store.PersistentStore`: ``get`` returning
+    ``MISSING`` on absence, ``put``, ``stats``) adds a persistent second
+    tier: a memory miss consults the store and promotes its hit into the
+    LRU; every put writes through.  The store holds canonical-space
+    values — exactly what the LRU holds — so a store hit thaws through
+    the same translation path and stays bit-identical.  Store failures
+    are the store's problem (it degrades to misses), never the
+    caller's.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries", "_lock")
+    __slots__ = (
+        "maxsize",
+        "hits",
+        "misses",
+        "evictions",
+        "store",
+        "_entries",
+        "_lock",
+    )
 
-    def __init__(self, maxsize: int | None = None):
+    def __init__(self, maxsize: int | None = None, store=None):
         self.maxsize = maxsize if maxsize is not None else default_cache_size()
         if self.maxsize <= 0:
             raise ValueError("cache size must be positive")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.store = store
         self._entries: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
 
@@ -192,11 +211,18 @@ class SolverCache:
                 self.hits += 1
         if entry is MISSING:
             _metrics.inc("omega.cache.misses")
+            if self.store is not None:
+                entry = self.store.get(key)
+                if entry is not MISSING:
+                    # Promote without re-writing through (it came from
+                    # the store; put() would bounce it straight back).
+                    self._promote(key, entry)
+                    return entry
             return MISSING
         _metrics.inc("omega.cache.hits")
         return entry
 
-    def put(self, key, value) -> None:
+    def _promote(self, key, value) -> None:
         evicted = 0
         with self._lock:
             self._entries[key] = value
@@ -207,6 +233,11 @@ class SolverCache:
                 evicted += 1
         for _ in range(evicted):
             _metrics.inc("omega.cache.evictions")
+
+    def put(self, key, value) -> None:
+        self._promote(key, value)
+        if self.store is not None:
+            self.store.put(key, value)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -225,7 +256,7 @@ class SolverCache:
     def stats(self) -> dict:
         """A plain-dict snapshot of the cache counters."""
 
-        return {
+        snapshot = {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
@@ -233,6 +264,9 @@ class SolverCache:
             "maxsize": self.maxsize,
             "hit_rate": self.hit_rate,
         }
+        if self.store is not None:
+            snapshot["store"] = self.store.stats()
+        return snapshot
 
 
 class _ActiveCaches(threading.local):

@@ -1,0 +1,160 @@
+"""Admission control: bounded concurrency with load-shedding.
+
+The daemon multiplexes every request through one shared serial
+:class:`~repro.solver.SolverService`, so unbounded acceptance would just
+trade latency for memory until something falls over.  The controller
+enforces two limits:
+
+* ``max_inflight`` requests execute at once (a semaphore);
+* at most ``queue_depth`` further requests *wait* for a slot, each for
+  at most ``queue_timeout_s``.
+
+Anything beyond that is shed immediately with a ``retry_after_ms`` hint
+(the observed p50 request latency when known, the queue timeout
+otherwise) — a 429, not a slow death.  Shedding is the outermost
+degrade-don't-die layer: the solver-level guard degrades *answers*, the
+controller degrades *throughput*, and neither ever kills the process.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..obs import metrics as _metrics
+
+__all__ = ["AdmissionController", "AdmissionTicket"]
+
+
+class AdmissionTicket:
+    """Proof of admission; release it in a ``finally``."""
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController"):
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._leave()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Semaphore-bounded admission with a bounded, timed wait queue."""
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 4,
+        queue_depth: int = 16,
+        queue_timeout_s: float = 1.0,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.queue_timeout_s = queue_timeout_s
+        self._slots = threading.BoundedSemaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._inflight = 0
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_timeout = 0
+        #: Exponentially-weighted request latency (seconds), fed by the
+        #: app after each request; sizes the retry-after hint.
+        self._latency_ewma: float | None = None
+
+    # -- the two sides ---------------------------------------------------
+
+    def admit(self) -> AdmissionTicket | None:
+        """A ticket, or None when the request must be shed."""
+
+        # A free slot admits immediately; queue_depth bounds *waiting*
+        # only (queue_depth=0 means admit-or-shed, never block).
+        if self._slots.acquire(blocking=False):
+            return self._admitted()
+        with self._lock:
+            if self._waiting >= self.queue_depth:
+                self.shed_queue_full += 1
+                _metrics.inc("serve.rejected")
+                return None
+            self._waiting += 1
+        try:
+            acquired = self._slots.acquire(timeout=self.queue_timeout_s)
+        finally:
+            with self._lock:
+                self._waiting -= 1
+        if not acquired:
+            with self._lock:
+                self.shed_timeout += 1
+            _metrics.inc("serve.rejected")
+            return None
+        return self._admitted()
+
+    def _admitted(self) -> AdmissionTicket:
+        with self._lock:
+            self._inflight += 1
+            self.admitted += 1
+            _metrics.set_gauge("serve.inflight", self._inflight)
+        return AdmissionTicket(self)
+
+    def _leave(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            _metrics.set_gauge("serve.inflight", self._inflight)
+        self._slots.release()
+
+    # -- hints -----------------------------------------------------------
+
+    def note_latency(self, seconds: float) -> None:
+        with self._lock:
+            if self._latency_ewma is None:
+                self._latency_ewma = seconds
+            else:
+                self._latency_ewma = 0.8 * self._latency_ewma + 0.2 * seconds
+
+    def retry_after_ms(self) -> float:
+        """How long a shed client should back off, in milliseconds."""
+
+        with self._lock:
+            latency = self._latency_ewma
+        if latency is None:
+            return round(self.queue_timeout_s * 1000.0, 3)
+        # Enough time for the queue ahead of the client to drain once.
+        backlog = max(1, self.queue_depth)
+        return round(
+            max(latency * backlog / self.max_inflight, latency) * 1000.0, 3
+        )
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def waiting(self) -> int:
+        with self._lock:
+            return self._waiting
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "queue_timeout_s": self.queue_timeout_s,
+                "inflight": self._inflight,
+                "waiting": self._waiting,
+                "admitted": self.admitted,
+                "shed_queue_full": self.shed_queue_full,
+                "shed_timeout": self.shed_timeout,
+            }

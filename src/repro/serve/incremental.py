@@ -1,0 +1,143 @@
+"""Constraint fingerprints for incremental re-analysis.
+
+A re-submitted program usually changes a statement or two; the other
+dependence pairs pose *exactly* the same constraint systems as last
+time.  Those systems hash to the same canonical keys, so the persistent
+store answers them without solving — the solver-level half of
+incremental re-analysis is the cache tier itself.  This module supplies
+the request-level half: a structural fingerprint per candidate
+dependence pair, so the daemon can tell the client (and its own
+telemetry) which pairs were actually re-solved and which rode the store.
+
+A pair's fingerprint covers everything that reaches its constraint
+system: the dependence kind, both subscript vectors, both full loop
+nests (bounds, steps), the source-order relation between the two
+statements, the declared bounds of the array, and the program's
+symbolic assertions are the caller's to fold in via ``extra``.  It
+deliberately excludes statement labels and absolute positions, so
+renaming a label or inserting an unrelated statement does not dirty
+untouched pairs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..ir.ast import Access, Program
+
+__all__ = ["pair_fingerprints", "diff_fingerprints"]
+
+
+def _loop_signature(access: Access) -> list:
+    return [
+        [
+            loop.var,
+            [str(lower) for lower in loop.lowers],
+            [str(upper) for upper in loop.uppers],
+            loop.step,
+        ]
+        for loop in access.statement.loops
+    ]
+
+
+def _access_signature(access: Access) -> list:
+    return [
+        str(access.ref),
+        access.slot,
+        access.is_write,
+        _loop_signature(access),
+    ]
+
+
+def _pair_id(kind: str, src: Access, dst: Access) -> str:
+    return f"{kind}:{src.statement.label}:{src.ref}->{dst.statement.label}:{dst.ref}"
+
+
+def pair_fingerprints(program: Program, extra: str = "") -> dict[str, str]:
+    """``{pair id: fingerprint}`` for every candidate dependence pair.
+
+    Candidates mirror the analysis's enumeration: per array, flow
+    (write before read in the pairing, both orders of execution are the
+    problem's business), anti (read/write) and output (write/write).
+    ``extra`` folds request-level context that changes constraint
+    systems globally — serialized assertions, option flags.
+    """
+
+    by_array: dict[str, list[Access]] = {}
+    for access in program.accesses():
+        by_array.setdefault(access.array, []).append(access)
+    bounds = {
+        array: [[str(lo), str(hi)] for lo, hi in spec]
+        for array, spec in program.array_bounds.items()
+    }
+    fingerprints: dict[str, str] = {}
+    for array, accesses in by_array.items():
+        writes = [a for a in accesses if a.is_write]
+        reads = [a for a in accesses if not a.is_write]
+        pairs: list[tuple[str, Access, Access]] = []
+        for w in writes:
+            for r in reads:
+                pairs.append(("flow", w, r))
+                pairs.append(("anti", r, w))
+            for w2 in writes:
+                pairs.append(("output", w, w2))
+        for kind, src, dst in pairs:
+            payload = json.dumps(
+                [
+                    kind,
+                    _access_signature(src),
+                    _access_signature(dst),
+                    # Relative source order, not absolute position: an
+                    # inserted unrelated statement must not dirty this.
+                    (src.statement.position < dst.statement.position)
+                    - (src.statement.position > dst.statement.position),
+                    src.statement.position == dst.statement.position,
+                    bounds.get(array),
+                    extra,
+                ],
+                sort_keys=True,
+            )
+            fingerprints[_pair_id(kind, src, dst)] = hashlib.sha256(
+                payload.encode()
+            ).hexdigest()
+    return fingerprints
+
+
+def diff_fingerprints(
+    old: dict[str, str] | None, new: dict[str, str]
+) -> dict:
+    """The incremental summary the serve response reports.
+
+    ``unchanged`` pairs resolve through the persistent cache tier;
+    ``changed``/``added`` pairs are the real re-analysis work; a None
+    ``old`` (first sight of the program) is a cold submission.
+    """
+
+    if old is None:
+        return {
+            "cold": True,
+            "pairs": len(new),
+            "unchanged": 0,
+            "changed": 0,
+            "added": len(new),
+            "removed": 0,
+        }
+    unchanged = changed = added = 0
+    for pair, fingerprint in new.items():
+        previous = old.get(pair)
+        if previous is None:
+            added += 1
+        elif previous == fingerprint:
+            unchanged += 1
+        else:
+            changed += 1
+    removed = sum(1 for pair in old if pair not in new)
+    return {
+        "cold": False,
+        "pairs": len(new),
+        "unchanged": unchanged,
+        "changed": changed,
+        "added": added,
+        "removed": removed,
+    }

@@ -1,0 +1,54 @@
+"""The serve benchmark: legs, persistence accounting, identity gate."""
+
+from repro.bench.serve import (
+    BENCH_PROGRAMS,
+    SERVE_BENCH_SCHEMA,
+    render_serve_bench,
+    run_serve_bench,
+)
+
+SMALL = {name: BENCH_PROGRAMS[name] for name in ("recurrence", "overwrite")}
+
+
+def test_serve_bench_artifact_shape_and_gates(tmp_path):
+    artifact = run_serve_bench(
+        trials=1, clients=2, store_dir=tmp_path, programs=SMALL
+    )
+    assert artifact["schema"] == SERVE_BENCH_SCHEMA
+    assert artifact["settings"]["programs"] == sorted(SMALL)
+    assert set(artifact["legs"]) == {"cold", "warm_restart", "concurrent"}
+
+    cold = artifact["legs"]["cold"]
+    warm = artifact["legs"]["warm_restart"]
+    assert cold["store_writes"] > 0
+    assert cold["store_hits"] == 0
+    # The acceptance property: a restarted service answers from the
+    # persistent tier, bit-identically to direct analyze().
+    assert warm["store_hits"] > 0
+    assert warm["store_writes"] == 0
+    assert artifact["identical"] is True
+    assert artifact["mismatches"] == []
+
+    concurrent = artifact["legs"]["concurrent"]
+    assert concurrent["errors"] == 0
+    assert sum(concurrent["outcomes"].values()) == concurrent["submitted"]
+
+    assert "restart_speedup" in artifact
+
+
+def test_serve_bench_renders_human_table(tmp_path):
+    artifact = run_serve_bench(
+        trials=1, clients=1, store_dir=tmp_path, programs=SMALL
+    )
+    table = render_serve_bench(artifact)
+    assert "warm_restart" in table
+    assert "identical" in table
+    assert "store hits" in table
+
+
+def test_bench_corpus_parses():
+    from repro.ir import parse
+
+    for name, source in BENCH_PROGRAMS.items():
+        program = parse(source, name)
+        assert program.statements

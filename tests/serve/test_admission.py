@@ -1,0 +1,93 @@
+"""Admission control: bounded concurrency, load-shedding, retry hints."""
+
+import threading
+
+import pytest
+
+from repro.serve.admission import AdmissionController
+
+
+def test_admits_up_to_max_inflight():
+    controller = AdmissionController(
+        max_inflight=2, queue_depth=0, queue_timeout_s=0.01
+    )
+    first = controller.admit()
+    second = controller.admit()
+    assert first is not None and second is not None
+    assert controller.inflight == 2
+    # No slots, no queue: immediate shed.
+    assert controller.admit() is None
+    assert controller.stats()["shed_queue_full"] == 1
+    first.release()
+    third = controller.admit()
+    assert third is not None
+    second.release()
+    third.release()
+    assert controller.inflight == 0
+
+
+def test_queue_timeout_sheds():
+    controller = AdmissionController(
+        max_inflight=1, queue_depth=4, queue_timeout_s=0.05
+    )
+    ticket = controller.admit()
+    assert ticket is not None
+    assert controller.admit() is None  # waited 50ms, then shed
+    assert controller.stats()["shed_timeout"] == 1
+    ticket.release()
+
+
+def test_queued_request_proceeds_when_a_slot_frees():
+    controller = AdmissionController(
+        max_inflight=1, queue_depth=4, queue_timeout_s=5.0
+    )
+    ticket = controller.admit()
+    outcome = {}
+
+    def waiter():
+        outcome["ticket"] = controller.admit()
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    # Let the waiter reach the semaphore, then free the slot.
+    for _ in range(100):
+        if controller.waiting:
+            break
+        threading.Event().wait(0.005)
+    ticket.release()
+    thread.join(timeout=5.0)
+    assert outcome["ticket"] is not None
+    outcome["ticket"].release()
+    assert controller.stats()["admitted"] == 2
+
+
+def test_ticket_release_is_idempotent():
+    controller = AdmissionController(max_inflight=1, queue_depth=0)
+    with controller.admit() as ticket:
+        ticket.release()
+        ticket.release()
+    assert controller.inflight == 0
+    assert controller.admit() is not None
+
+
+def test_retry_hint_falls_back_to_queue_timeout():
+    controller = AdmissionController(
+        max_inflight=2, queue_depth=8, queue_timeout_s=0.5
+    )
+    assert controller.retry_after_ms() == 500.0
+
+
+def test_retry_hint_tracks_observed_latency():
+    controller = AdmissionController(
+        max_inflight=2, queue_depth=8, queue_timeout_s=0.5
+    )
+    controller.note_latency(0.1)
+    # Enough for the backlog ahead to drain: 0.1s * 8 / 2 = 400ms.
+    assert controller.retry_after_ms() == pytest.approx(400.0)
+
+
+def test_constructor_rejects_nonsense():
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight=0)
+    with pytest.raises(ValueError):
+        AdmissionController(queue_depth=-1)

@@ -1,0 +1,82 @@
+"""Pair fingerprints: what dirties a dependence pair, and what must not."""
+
+from repro.ir import parse
+from repro.serve.incremental import diff_fingerprints, pair_fingerprints
+
+BASE = (
+    "for i := 1 to n do {\n"
+    "  a(i) := a(i-1) + b(i)\n"
+    "}\n"
+    "for i := 1 to n do {\n"
+    "  c(i) := c(i-1) + 1\n"
+    "}\n"
+)
+
+#: Same program with the *second* loop's recurrence distance changed.
+EDITED = (
+    "for i := 1 to n do {\n"
+    "  a(i) := a(i-1) + b(i)\n"
+    "}\n"
+    "for i := 1 to n do {\n"
+    "  c(i) := c(i-2) + 1\n"
+    "}\n"
+)
+
+#: Same program with an unrelated statement appended.
+EXTENDED = BASE + (
+    "for i := 1 to n do {\n"
+    "  d(i) := 1\n"
+    "}\n"
+)
+
+
+def fingerprints(source: str, extra: str = "") -> dict:
+    return pair_fingerprints(parse(source, "t"), extra)
+
+
+def test_identical_source_is_identical_fingerprints():
+    assert fingerprints(BASE) == fingerprints(BASE)
+
+
+def test_enumerates_flow_anti_and_output_pairs():
+    found = fingerprints(BASE)
+    kinds = {pair_id.split(":", 1)[0] for pair_id in found}
+    assert kinds == {"flow", "anti", "output"}
+    # a: one write, one read -> flow + anti + self-output; plus c's
+    # write-only self-output pair.
+    assert any(pair_id.startswith("flow:") and ":a(" in pair_id for pair_id in found)
+
+
+def test_editing_one_statement_dirties_only_its_pairs():
+    summary = diff_fingerprints(fingerprints(BASE), fingerprints(EDITED))
+    assert not summary["cold"]
+    assert summary["changed"] == 0  # c(i-1) -> c(i-2) renames the pair id
+    # The a-array recurrence pairs are untouched.
+    assert summary["unchanged"] >= 3
+    assert summary["added"] >= 1  # the new c(i-2) read pairings
+    assert summary["removed"] >= 1  # the old c(i-1) read pairings
+
+
+def test_appending_an_unrelated_statement_keeps_old_pairs_clean():
+    summary = diff_fingerprints(fingerprints(BASE), fingerprints(EXTENDED))
+    base_count = len(fingerprints(BASE))
+    assert summary["unchanged"] == base_count
+    assert summary["changed"] == 0
+    assert summary["added"] == len(fingerprints(EXTENDED)) - base_count
+    assert summary["removed"] == 0
+
+
+def test_extra_context_dirties_everything():
+    plain = fingerprints(BASE)
+    asserted = fingerprints(BASE, extra="assertions:n<=m")
+    summary = diff_fingerprints(plain, asserted)
+    assert summary["unchanged"] == 0
+    assert summary["changed"] == len(plain)
+
+
+def test_cold_diff_reports_everything_added():
+    new = fingerprints(BASE)
+    summary = diff_fingerprints(None, new)
+    assert summary["cold"] is True
+    assert summary["added"] == summary["pairs"] == len(new)
+    assert summary["unchanged"] == summary["changed"] == summary["removed"] == 0

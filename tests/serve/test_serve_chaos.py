@@ -1,0 +1,231 @@
+"""Serve-path chaos: injected faults, superset-sound answers, no deaths.
+
+The daemon's contract under fault injection (the serve analogue of
+``tests/guard/test_chaos.py``): with request-drops, store I/O errors,
+slow clients *and* the solver-level fault kinds all armed, every
+response is still a valid protocol envelope, every answered analysis is
+a superset of the exact dependences, and the app keeps serving
+afterwards.  The CI ``serve-chaos`` leg re-runs this file with
+``REPRO_FAULTS`` choosing the plan.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze
+from repro.guard import FaultPlan, injecting, plan_from_env
+from repro.guard.faults import KINDS, SERVE_KINDS
+from repro.ir import parse
+from repro.serve import ServeApp
+
+_ENV_PLAN = plan_from_env()
+BASE_SEED = _ENV_PLAN.seed if _ENV_PLAN is not None else 20260807
+RATE = _ENV_PLAN.rate if _ENV_PLAN is not None else 0.2
+CHAOS_KINDS = (
+    _ENV_PLAN.kinds if _ENV_PLAN is not None else KINDS + SERVE_KINDS
+)
+
+PROGRAMS = {
+    "recurrence": (
+        "for i := 1 to n do {\n"
+        "  a(i) := a(i-1) + b(i)\n"
+        "}\n"
+    ),
+    "wavefront": (
+        "for i := 1 to n do {\n"
+        "  for j := 1 to n do {\n"
+        "    w(i, j) := w(i-1, j) + w(i, j-1)\n"
+        "  }\n"
+        "}\n"
+    ),
+    "overwrite": (
+        "for i := 1 to n do {\n"
+        "  t(i) := b(i) + 1\n"
+        "}\n"
+        "for i := 1 to n do {\n"
+        "  t(i) := c(i) * 2\n"
+        "}\n"
+        "for i := 1 to n do {\n"
+        "  d(i) := t(i)\n"
+        "}\n"
+    ),
+}
+
+
+def live_set(result_dict):
+    """Live dependences of a serialized result, as comparable tuples."""
+
+    return {
+        (
+            dep["kind"],
+            dep["source"]["statement"],
+            dep["source"]["reference"],
+            dep["destination"]["statement"],
+            dep["destination"]["reference"],
+        )
+        for kind in ("flow", "anti", "output")
+        for dep in result_dict[kind]
+        if dep["status"] == "live"
+    }
+
+
+@pytest.fixture(scope="module")
+def exact_live():
+    from repro.reporting import result_to_dict
+
+    return {
+        name: live_set(
+            result_to_dict(analyze(parse(source, name), AnalysisOptions()))
+        )
+        for name, source in PROGRAMS.items()
+    }
+
+
+# -- the fault plan API ----------------------------------------------------
+
+
+def test_serve_kinds_are_valid_plan_kinds():
+    plan = FaultPlan(seed=1, rate=0.5, kinds=SERVE_KINDS)
+    assert set(plan.kinds) == set(SERVE_KINDS)
+    with pytest.raises(ValueError):
+        FaultPlan(seed=1, kinds=("request-drop", "power-outage"))
+
+
+def test_maybe_serve_is_deterministic():
+    draws_a = [
+        FaultPlan(seed=99, rate=0.5, kinds=SERVE_KINDS).maybe_serve(
+            "serve.request", SERVE_KINDS
+        )
+        for _ in range(1)
+    ]
+    plan_b = FaultPlan(seed=99, rate=0.5, kinds=SERVE_KINDS)
+    draws_b = [plan_b.maybe_serve("serve.request", SERVE_KINDS)]
+    assert draws_a == draws_b
+
+
+def test_maybe_serve_only_draws_requested_kinds():
+    plan = FaultPlan(seed=3, rate=1.0, kinds=KINDS + SERVE_KINDS)
+    for _ in range(20):
+        kind = plan.maybe_serve("serve.request", ("request-drop",))
+        assert kind == "request-drop"
+    # Solver kinds never leak out of maybe_serve...
+    assert all(site.startswith("serve") for site, _, _ in plan.injected)
+    # ...and serve kinds never leak out of maybe_fail's soft filter.
+    soft_plan = FaultPlan(seed=3, rate=1.0, kinds=SERVE_KINDS)
+    assert soft_plan.maybe_fail("omega.sat") is None
+
+
+def test_maybe_serve_respects_site_filter():
+    plan = FaultPlan(
+        seed=5, rate=1.0, kinds=SERVE_KINDS, sites=frozenset({"serve.request"})
+    )
+    assert plan.maybe_serve("serve.respond", SERVE_KINDS) is None
+    assert plan.maybe_serve("serve.request", SERVE_KINDS) is not None
+
+
+# -- the whole service under chaos ----------------------------------------
+
+
+def test_chaos_responses_stay_sound_and_app_stays_alive(tmp_path, exact_live):
+    plan = FaultPlan(seed=BASE_SEED, rate=RATE, kinds=CHAOS_KINDS)
+    app = ServeApp(store_path=tmp_path / "store.db")
+    answered = 0
+    rejected = 0
+    try:
+        with injecting(plan):
+            for round_index in range(8):
+                for name, source in PROGRAMS.items():
+                    http, envelope = app.handle(
+                        {
+                            "op": "analyze",
+                            "name": name,
+                            "program": source,
+                            "request_id": f"chaos-{round_index}-{name}",
+                        }
+                    )
+                    status = envelope["status"]
+                    assert status in ("ok", "degraded", "rejected"), envelope
+                    if status == "rejected":
+                        rejected += 1
+                        assert http == 429
+                        assert envelope["retry_after_ms"] > 0
+                        continue
+                    answered += 1
+                    assert http == 200
+                    # Superset soundness: degradation may keep a false
+                    # dependence alive, never lose a true one.
+                    assert exact_live[name] <= live_set(envelope["result"])
+                    if status == "degraded":
+                        assert envelope["degradations"]
+        assert answered > 0
+        # The app survived the storm and still serves cleanly.
+        _, pong = app.handle({"op": "ping"})
+        assert pong["status"] == "ok" and pong["ready"] is True
+        http, envelope = app.handle(
+            {
+                "op": "analyze",
+                "name": "recurrence",
+                "program": PROGRAMS["recurrence"],
+            }
+        )
+        assert envelope["status"] in ("ok", "degraded")
+        stats = app.stats()
+        assert stats["responses"]["error"] == 0
+        assert stats["responses"]["invalid"] == 0
+    finally:
+        app.close()
+
+
+def test_constant_store_faults_never_surface_to_clients(tmp_path, exact_live):
+    plan = FaultPlan(
+        seed=BASE_SEED + 1,
+        rate=1.0,
+        kinds=("store-io-error",),
+        sites=frozenset({"store.get", "store.put"}),
+    )
+    app = ServeApp(store_path=tmp_path / "store.db")
+    try:
+        with injecting(plan):
+            for name, source in PROGRAMS.items():
+                http, envelope = app.handle(
+                    {"op": "analyze", "name": name, "program": source}
+                )
+                assert http == 200
+                assert envelope["status"] == "ok"
+                assert exact_live[name] == live_set(envelope["result"])
+        assert app.store.errors > 0  # the faults really fired
+    finally:
+        app.close()
+
+
+def test_request_drops_and_slow_clients_are_counted(tmp_path):
+    plan = FaultPlan(
+        seed=BASE_SEED + 2, rate=1.0, kinds=("request-drop",)
+    )
+    app = ServeApp(store_path=None)
+    try:
+        with injecting(plan):
+            http, envelope = app.handle(
+                {
+                    "op": "analyze",
+                    "name": "recurrence",
+                    "program": PROGRAMS["recurrence"],
+                }
+            )
+        assert http == 429
+        assert envelope["status"] == "rejected"
+        assert "request-drop" in envelope["reason"]
+        assert app.stats()["faults"]["dropped"] == 1
+
+        slow = FaultPlan(seed=BASE_SEED + 3, rate=1.0, kinds=("slow-client",))
+        with injecting(slow):
+            http, envelope = app.handle(
+                {
+                    "op": "analyze",
+                    "name": "recurrence",
+                    "program": PROGRAMS["recurrence"],
+                }
+            )
+        assert http == 200 and envelope["status"] == "ok"
+        assert app.stats()["faults"]["slowed"] == 1
+    finally:
+        app.close()

@@ -740,3 +740,73 @@ class TestDiffCommand:
         missing = tmp_path / "nope.json"
         assert main(["diff", str(missing), str(missing)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestStoreFlag:
+    def test_analyze_store_warm_run_hits(self, program_file, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        assert main(
+            ["analyze", str(program_file), "--stats", "--store", str(store)]
+        ) == 0
+        cold = capsys.readouterr().out
+        assert "persistent store:" in cold
+        assert store.exists()
+        assert main(
+            ["analyze", str(program_file), "--stats", "--store", str(store)]
+        ) == 0
+        warm = capsys.readouterr().out
+        store_line = [
+            line for line in warm.splitlines()
+            if line.startswith("persistent store:")
+        ][0]
+        assert "0 hits" not in store_line  # the second run answered warm
+        assert "0 writes" in store_line
+
+    def test_identical_output_with_and_without_store(
+        self, program_file, tmp_path, capsys
+    ):
+        assert main(["analyze", str(program_file), "--json"]) == 0
+        plain = capsys.readouterr().out
+        store = tmp_path / "store.db"
+        for _ in range(2):  # cold write-through, then warm replay
+            assert main(
+                ["analyze", str(program_file), "--json", "--store", str(store)]
+            ) == 0
+            assert capsys.readouterr().out == plain
+
+    def test_stats_report_solver_backend(self, program_file, capsys):
+        assert main(["analyze", str(program_file), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "solver backend:" in out
+
+
+class TestServeCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8177
+        assert args.max_inflight == 4
+        assert not args.no_store
+
+    def test_no_tcp_requires_unix_socket(self, capsys):
+        assert main(["serve", "--no-tcp", "--no-store"]) == 2
+        assert "--unix-socket" in capsys.readouterr().err
+
+    def test_serve_bench_writes_artifact_and_gates(self, tmp_path, capsys):
+        out_path = tmp_path / "serve_bench.json"
+        assert main(
+            [
+                "serve-bench",
+                "-o",
+                str(out_path),
+                "--trials",
+                "1",
+                "--clients",
+                "1",
+                "--store-dir",
+                str(tmp_path / "stores"),
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "identical" in captured.out
+        artifact = json.loads(out_path.read_text())
+        assert artifact["legs"]["warm_restart"]["store_hits"] > 0
